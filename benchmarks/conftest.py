@@ -1,0 +1,28 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+Each benchmark wraps one experiment of the paper's evaluation section at a
+reduced ("smoke") scale so the whole suite completes in minutes.  The wrapped
+callable runs a complete simulation; pytest-benchmark therefore measures the
+wall-clock cost of regenerating the figure, while the assertions check that
+the *shape* of the result matches the paper (who wins, how scaling behaves).
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="smoke",
+        choices=["smoke", "quick", "paper"],
+        help="scale of the reproduced experiments (default: smoke)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")

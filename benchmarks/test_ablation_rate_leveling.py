@@ -1,0 +1,30 @@
+"""Ablations: rate leveling and deterministic-merge granularity."""
+
+from repro.bench.ablations import run_merge_granularity_ablation, run_rate_leveling_ablation
+
+
+def test_ablation_rate_leveling(benchmark, repro_scale):
+    duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[repro_scale]
+    result = benchmark.pedantic(
+        run_rate_leveling_ablation, kwargs=dict(duration=duration), rounds=1, iterations=1
+    )
+    with_leveling = result["with_leveling"]
+    without_leveling = result["without_leveling"]
+    # Without rate leveling the busy ring is throttled by the idle ring it
+    # shares learners with; with it, throughput is at least an order of
+    # magnitude higher.
+    assert with_leveling["throughput_ops"] > 10 * max(1.0, without_leveling["throughput_ops"])
+
+
+def test_ablation_merge_granularity(benchmark, repro_scale):
+    duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[repro_scale]
+    result = benchmark.pedantic(
+        run_merge_granularity_ablation,
+        kwargs=dict(m_values=(1, 8), duration=duration),
+        rounds=1,
+        iterations=1,
+    )
+    results = result["results"]
+    # Every configuration delivers; the sweep documents the trade-off rather
+    # than asserting a winner.
+    assert all(cell["throughput_ops"] > 0 for cell in results.values())

@@ -1,0 +1,33 @@
+"""Figure 3: Multi-Ring Paxos baseline (storage modes x request sizes)."""
+
+from repro.bench.figure3 import run_figure3
+from repro.sim.disk import StorageMode
+
+
+def test_fig3_baseline(benchmark, repro_scale):
+    if repro_scale == "paper":
+        kwargs = dict(duration=30.0)
+    elif repro_scale == "quick":
+        kwargs = dict(value_sizes=(512, 8192, 32768), duration=5.0)
+    else:
+        kwargs = dict(
+            value_sizes=(512, 32768),
+            storage_modes=(StorageMode.SYNC_HDD, StorageMode.ASYNC_SSD, StorageMode.MEMORY),
+            duration=1.5,
+        )
+
+    result = benchmark.pedantic(run_figure3, kwargs=kwargs, rounds=1, iterations=1)
+    cells = result["cells"]
+    small, large = result["value_sizes"][0], result["value_sizes"][-1]
+
+    for mode in result["storage_modes"]:
+        # Throughput (Mbps) grows with the request size (paper, Figure 3 top-left).
+        assert cells[mode][large]["throughput_mbps"] > cells[mode][small]["throughput_mbps"]
+
+    memory = StorageMode.MEMORY.value
+    sync_hdd = StorageMode.SYNC_HDD.value
+    # In-memory storage is the fastest mode and synchronous hard-disk writes the slowest.
+    assert cells[memory][large]["throughput_mbps"] > cells[sync_hdd][large]["throughput_mbps"]
+    assert cells[sync_hdd][large]["latency_ms"] > cells[memory][large]["latency_ms"]
+    # The coordinator's CPU is the in-memory bottleneck at small request sizes.
+    assert cells[memory][small]["coordinator_cpu_percent"] > 50.0

@@ -1,0 +1,39 @@
+"""Figure 4: MRP-Store vs Cassandra-like vs MySQL-like under YCSB."""
+
+from repro.bench.figure4 import run_figure4
+
+
+def test_fig4_ycsb(benchmark, repro_scale):
+    if repro_scale == "paper":
+        kwargs = dict(record_count=100000, client_threads=100, duration=30.0)
+    elif repro_scale == "quick":
+        kwargs = dict(record_count=3000, client_threads=32, client_machines=2, duration=5.0)
+    else:
+        kwargs = dict(
+            workloads=("A", "B", "E"),
+            record_count=500,
+            client_threads=12,
+            client_machines=1,
+            duration=2.0,
+        )
+
+    result = benchmark.pedantic(run_figure4, kwargs=kwargs, rounds=1, iterations=1)
+    throughput = result["throughput_ops"]
+    workloads = result["workloads"]
+
+    # Every system serves every workload.
+    for system in result["systems"]:
+        for workload in workloads:
+            assert throughput[system][workload] > 0
+
+    # Cassandra (no ordering) beats MRP-Store on the update-heavy workload A...
+    assert throughput["cassandra"]["A"] > throughput["mrp-store"]["A"]
+    # ...but its advantage collapses on the scan-dominated workload E
+    # (paper, Section 8.3.2: workload E is the one case Cassandra loses).
+    if "E" in workloads:
+        cassandra_ratio = throughput["cassandra"]["E"] / throughput["cassandra"]["A"]
+        mrp_ratio = throughput["mrp-store"]["E"] / throughput["mrp-store"]["A"]
+        assert mrp_ratio > cassandra_ratio
+    # Ordering within partitions only (independent rings) is at least as fast
+    # as ordering within and across the whole system.
+    assert throughput["mrp-store-indep"]["A"] >= 0.8 * throughput["mrp-store"]["A"]

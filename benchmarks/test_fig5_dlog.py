@@ -1,0 +1,25 @@
+"""Figure 5: dLog vs a Bookkeeper-like ensemble log (1 KB appends, sync disk)."""
+
+from repro.bench.figure5 import run_figure5
+
+
+def test_fig5_dlog_vs_bookkeeper(benchmark, repro_scale):
+    if repro_scale == "paper":
+        kwargs = dict(duration=20.0)
+    elif repro_scale == "quick":
+        kwargs = dict(client_counts=(1, 50, 200), duration=5.0)
+    else:
+        kwargs = dict(client_counts=(1, 50), duration=2.0)
+
+    result = benchmark.pedantic(run_figure5, kwargs=kwargs, rounds=1, iterations=1)
+    counts = result["client_counts"]
+    dlog = result["results"]["dlog"]
+    bookkeeper = result["results"]["bookkeeper"]
+
+    most_loaded = counts[-1]
+    # The paper's headline: dLog consistently outperforms Bookkeeper in both
+    # throughput and latency.
+    assert dlog[most_loaded]["throughput_ops"] > bookkeeper[most_loaded]["throughput_ops"]
+    assert dlog[most_loaded]["latency_ms"] < bookkeeper[most_loaded]["latency_ms"]
+    # Throughput grows with the number of client threads for dLog.
+    assert dlog[most_loaded]["throughput_ops"] > dlog[counts[0]]["throughput_ops"]

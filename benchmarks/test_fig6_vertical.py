@@ -1,0 +1,24 @@
+"""Figure 6: vertical scalability of dLog (rings/disks 1..5)."""
+
+from repro.bench.figure6 import run_figure6
+
+
+def test_fig6_vertical_scalability(benchmark, repro_scale):
+    if repro_scale == "paper":
+        kwargs = dict(duration=20.0, clients_per_ring=40)
+    elif repro_scale == "quick":
+        kwargs = dict(ring_counts=(1, 2, 3), duration=5.0, clients_per_ring=10)
+    else:
+        kwargs = dict(ring_counts=(1, 2, 4), duration=2.0, clients_per_ring=8)
+
+    result = benchmark.pedantic(run_figure6, kwargs=kwargs, rounds=1, iterations=1)
+    counts = result["ring_counts"]
+    results = result["results"]
+
+    # Aggregate throughput grows close to linearly as rings (and disks) are added.
+    first, last = counts[0], counts[-1]
+    assert results[last]["aggregate_ops"] > results[first]["aggregate_ops"] * (last / first) * 0.6
+    # Every ring contributes throughput.
+    assert all(ops > 0 for ops in results[last]["per_ring_ops"].values())
+    # The per-ring (disk 1) latency stays in the same order of magnitude.
+    assert results[last]["latency_disk1_ms"] < results[first]["latency_disk1_ms"] * 10

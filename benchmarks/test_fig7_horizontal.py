@@ -1,0 +1,24 @@
+"""Figure 7: horizontal scalability of MRP-Store across EC2-like regions."""
+
+from repro.bench.figure7 import run_figure7
+
+
+def test_fig7_horizontal_scalability(benchmark, repro_scale):
+    if repro_scale == "paper":
+        kwargs = dict(duration=60.0, clients_per_region=40)
+    elif repro_scale == "quick":
+        kwargs = dict(region_counts=(1, 2, 4), duration=10.0, clients_per_region=10)
+    else:
+        kwargs = dict(region_counts=(1, 2), duration=5.0, clients_per_region=6, record_count=600)
+
+    result = benchmark.pedantic(run_figure7, kwargs=kwargs, rounds=1, iterations=1)
+    counts = result["region_counts"]
+    results = result["results"]
+
+    first, last = counts[0], counts[-1]
+    # Throughput increases as new regions (partitions/rings) are added...
+    assert results[last]["aggregate_ops"] > results[first]["aggregate_ops"] * 1.3
+    # ...and every region keeps serving its local clients.
+    assert all(ops > 0 for ops in results[last]["per_region_ops"].values())
+    # Latency stays roughly constant with the number of regions (within 3x).
+    assert results[last]["latency_ms"] < results[first]["latency_ms"] * 3 + 50.0

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Packaging metadata lives in ``setup.cfg``.  The project deliberately ships no
+``pyproject.toml`` because the reproduction environment is offline: pip's
+PEP 517 build isolation would try to download setuptools/wheel and fail,
+whereas the legacy ``setup.py``/``setup.cfg`` path installs with whatever is
+already on the machine.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Reproduction of *Building global and scalable systems with Atomic Multicast*.
+
+The library implements the paper's full stack on a deterministic
+discrete-event simulator:
+
+* :mod:`repro.sim` -- the simulation substrate (network, disks, CPUs, failures);
+* :mod:`repro.paxos`, :mod:`repro.ringpaxos` -- the consensus substrate and
+  Ring Paxos atomic broadcast;
+* :mod:`repro.multiring` -- Multi-Ring Paxos atomic multicast (the paper's
+  primary contribution): deterministic merge and rate leveling;
+* :mod:`repro.recovery` -- checkpointing, acceptor-log trimming and replica
+  recovery;
+* :mod:`repro.smr` -- state-machine replication, clients and front-ends;
+* :mod:`repro.services` -- MRP-Store (key-value store) and dLog (shared log);
+* :mod:`repro.baselines` -- the Cassandra/MySQL/Bookkeeper-like comparators;
+* :mod:`repro.workloads` -- YCSB and the paper's other load generators;
+* :mod:`repro.bench` -- the harness regenerating every figure of Section 8.
+"""
+
+from repro.config import BatchingConfig, MultiRingConfig, RecoveryConfig, RingConfig
+from repro.errors import ReproError
+from repro.multiring import Deployment, MultiRingNode, RingSpec
+from repro.sim import World
+from repro.sim.disk import StorageMode
+from repro.types import Value
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "World",
+    "StorageMode",
+    "Value",
+    "ReproError",
+    "MultiRingConfig",
+    "RingConfig",
+    "RecoveryConfig",
+    "BatchingConfig",
+    "Deployment",
+    "RingSpec",
+    "MultiRingNode",
+]

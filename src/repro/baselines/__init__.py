@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against.
+
+The paper's Figure 4 compares MRP-Store against Apache Cassandra and MySQL
+under YCSB, and Figure 5 compares dLog against Apache Bookkeeper.  Those
+systems are closed substrates from this reproduction's point of view, so each
+is modelled by a small simulator-native system exhibiting the property the
+paper uses it to contrast (the substitutions are documented in DESIGN.md):
+
+* :mod:`repro.baselines.eventual_store` -- a Cassandra-like partitioned store:
+  per-replica ordering only, consistency level ONE, asynchronous replication,
+  no cross-partition ordering, expensive range scans;
+* :mod:`repro.baselines.single_server` -- a MySQL-like single-node store:
+  strong consistency trivially, synchronous commit, but no horizontal scaling;
+* :mod:`repro.baselines.ensemble_log` -- a Bookkeeper-like ensemble log:
+  entries written to an ensemble of bookies with a 2-of-3 ack quorum and
+  aggressive write batching (large commit latency).
+"""
+
+from repro.baselines.eventual_store import EventualStore
+from repro.baselines.single_server import SingleServerStore
+from repro.baselines.ensemble_log import EnsembleLog
+
+__all__ = ["EventualStore", "SingleServerStore", "EnsembleLog"]

@@ -1,0 +1,206 @@
+"""A Bookkeeper-like ensemble log.
+
+The Figure 5 baseline.  Apache Bookkeeper appends every entry to an ensemble
+of bookies and acknowledges the client once a write quorum has made the entry
+durable; bookies aggressively batch journal writes to maximise disk
+utilization, which the paper identifies as the source of its large latency
+("its aggressive batching mechanism ... attempts to maximize disk use by
+writing in large chunks").
+
+The model has two process kinds:
+
+* the **gateway** (Bookkeeper's client library, co-located with the ledger
+  writer): receives appends from the benchmark clients, fans each entry out
+  to the ensemble, and answers the client once ``ack_quorum`` bookies
+  acknowledged it;
+* the **bookies**: buffer incoming entries and flush them to the journal disk
+  in large synchronous batches (by size or by timer), acknowledging every
+  entry in the batch only after the fsync completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.net.message import ProtocolMessage
+from repro.sim.cpu import CPU, CPUConfig
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.process import Process
+from repro.sim.world import World
+from repro.smr.client import Request
+from repro.smr.command import Command, Response, SubmitCommand
+from repro.types import GroupId
+
+__all__ = ["EnsembleLog"]
+
+
+@dataclass(frozen=True)
+class _AddEntry(ProtocolMessage):
+    """Gateway -> bookie: append one entry to the journal."""
+
+    entry_id: int
+    size: int
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class _AddAck(ProtocolMessage):
+    """Bookie -> gateway: the entry is durable in the journal."""
+
+    entry_id: int
+    bookie: str
+
+
+class _Bookie(Process):
+    """A storage node batching journal writes."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        disk: Disk,
+        flush_bytes: int,
+        flush_interval: float,
+        site: Optional[str] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self.disk = disk
+        self.flush_bytes = flush_bytes
+        self.flush_interval = flush_interval
+        self.cpu = CPU(world.sim, CPUConfig())
+        self._pending: List[_AddEntry] = []
+        self._pending_bytes = 0
+        self._flush_timer = None
+        self.entries_stored = 0
+
+    def on_message(self, sender: str, payload) -> None:
+        if not isinstance(payload, _AddEntry):
+            return
+        self.cpu.charge(nbytes=payload.size)
+        self._pending.append(payload)
+        self._pending_bytes += payload.size
+        if self._pending_bytes >= self.flush_bytes:
+            self._flush()
+        elif self._flush_timer is None or not self._flush_timer.active:
+            self._flush_timer = self.set_timer(self.flush_interval, self._flush)
+
+    def _flush(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        nbytes, self._pending_bytes = self._pending_bytes, 0
+        self.entries_stored += len(batch)
+        # One big synchronous journal write for the whole batch; every entry
+        # in it is acknowledged when the fsync completes.
+        self.disk.write(nbytes + 512, lambda batch=batch: self._acknowledge(batch))
+
+    def _acknowledge(self, batch: List[_AddEntry]) -> None:
+        if not self.alive:
+            return
+        for entry in batch:
+            self.send(entry.reply_to, _AddAck(entry_id=entry.entry_id, bookie=self.name))
+
+
+class _Gateway(Process):
+    """The Bookkeeper client library: ensemble fan-out and quorum tracking."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        bookies: Sequence[str],
+        ack_quorum: int,
+        site: Optional[str] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self.bookies = list(bookies)
+        self.ack_quorum = ack_quorum
+        self.cpu = CPU(world.sim, CPUConfig())
+        self._next_entry = 0
+        self._pending: Dict[int, Command] = {}
+        self._acks: Dict[int, Set[str]] = {}
+        self.appends_completed = 0
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, SubmitCommand):
+            self._on_append(payload.command)
+        elif isinstance(payload, _AddAck):
+            self._on_ack(payload)
+
+    def _on_append(self, command: Command) -> None:
+        entry_id = self._next_entry
+        self._next_entry += 1
+        self._pending[entry_id] = command
+        self._acks[entry_id] = set()
+        self.cpu.charge(nbytes=command.size_bytes)
+        size = command.operation[2] if len(command.operation) > 2 else command.size_bytes
+        for bookie in self.bookies:
+            self.send(bookie, _AddEntry(entry_id=entry_id, size=size, reply_to=self.name))
+
+    def _on_ack(self, ack: _AddAck) -> None:
+        command = self._pending.get(ack.entry_id)
+        if command is None:
+            return
+        acks = self._acks[ack.entry_id]
+        acks.add(ack.bookie)
+        if len(acks) < self.ack_quorum:
+            return
+        del self._pending[ack.entry_id]
+        del self._acks[ack.entry_id]
+        self.appends_completed += 1
+        if self.world.has_process(command.client):
+            self.send(
+                command.client,
+                Response(
+                    command_id=command.command_id,
+                    replica=self.name,
+                    partition="bookkeeper",
+                    result=("appended", ack.entry_id),
+                    result_size_bytes=16,
+                ),
+            )
+
+
+class EnsembleLog:
+    """A Bookkeeper-like log exposing the dLog client surface for appends."""
+
+    GROUP: GroupId = "bookkeeper"
+
+    def __init__(
+        self,
+        world: World,
+        bookies: int = 3,
+        ack_quorum: int = 2,
+        storage_mode: StorageMode = StorageMode.SYNC_SSD,
+        flush_bytes: int = 4 * 1024 * 1024,
+        flush_interval: float = 0.1,
+    ) -> None:
+        if ack_quorum > bookies:
+            raise ConfigurationError("the ack quorum cannot exceed the ensemble size")
+        self.world = world
+        bookie_names = [f"bookie-{i}" for i in range(bookies)]
+        self.bookies = [
+            _Bookie(
+                world,
+                name,
+                disk=disk_for_mode(world.sim, storage_mode),
+                flush_bytes=flush_bytes,
+                flush_interval=flush_interval,
+            )
+            for name in bookie_names
+        ]
+        self.gateway = _Gateway(world, "bk-gateway", bookie_names, ack_quorum)
+
+    # ------------------------------------------------------------------
+    # dLog-compatible client surface (appends only)
+    # ------------------------------------------------------------------
+    def append(self, log: str, size: int, series: Optional[str] = None) -> Request:
+        return Request(("append", log, size), 64 + size, self.GROUP, 1, series)
+
+    def frontends_for_client(self, client_index: int = 0) -> Dict[GroupId, str]:
+        return {self.GROUP: self.gateway.name}

@@ -1,0 +1,259 @@
+"""A Cassandra-like eventually consistent partitioned store.
+
+Used as the Figure 4 baseline that "does not impose any ordering on requests":
+
+* the client sends a request to the coordinator replica of the key's
+  partition, which executes it locally and answers immediately (consistency
+  level ONE);
+* writes are replicated to the other replicas of the partition
+  asynchronously, off the client's latency path;
+* range scans have no global index: the coordinator fans the scan out to one
+  replica of every partition and only answers once all of them responded,
+  which is why Cassandra loses workload E in the paper.
+
+The store reuses the MRP-Store client-library surface (``key``, ``read``,
+``update``, ``insert``, ``scan``, ``read_modify_write``,
+``frontends_for_client``) so the same YCSB generator drives both systems.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.message import ProtocolMessage
+from repro.services.mrpstore.partitioning import PartitionMap
+from repro.services.mrpstore.state import MRPStoreStateMachine
+from repro.sim.cpu import CPU, CPUConfig
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.process import Process
+from repro.sim.world import World
+from repro.smr.client import Request
+from repro.smr.command import Command, Response, SubmitCommand
+from repro.types import GroupId
+
+__all__ = ["EventualStore"]
+
+
+@dataclass(frozen=True)
+class _Replicate(ProtocolMessage):
+    """Asynchronous replication of a write to the partition's other replicas."""
+
+    operation: tuple
+    operation_size: int
+
+
+@dataclass(frozen=True)
+class _ScanFanout(ProtocolMessage):
+    """Coordinator-to-partition scan request."""
+
+    request_id: int
+    operation: tuple
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class _ScanPartial(ProtocolMessage):
+    """Partition response to a fanned-out scan."""
+
+    request_id: int
+    partition: str
+    result_size: int
+
+
+class _EventualReplica(Process):
+    """One replica of one partition."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        partition: str,
+        partition_map: PartitionMap,
+        peers: Sequence[str],
+        scan_peers: Dict[str, str],
+        disk: Optional[Disk],
+        site: Optional[str] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self.partition = partition
+        self.state = MRPStoreStateMachine(partition, partition_map)
+        self.cpu = CPU(world.sim, CPUConfig())
+        self.peers = list(peers)
+        #: partition name -> replica to contact for fanned-out scans.
+        self.scan_peers = dict(scan_peers)
+        self.disk = disk
+        self._pending_scans: Dict[int, Tuple[Command, str, set, int]] = {}
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, SubmitCommand):
+            self._on_client_command(payload.command)
+        elif isinstance(payload, _Replicate):
+            self._apply_locally(payload.operation, charge_disk=True)
+        elif isinstance(payload, _ScanFanout):
+            self._on_scan_fanout(sender, payload)
+        elif isinstance(payload, _ScanPartial):
+            self._on_scan_partial(payload)
+
+    def _apply_locally(self, operation: tuple, charge_disk: bool) -> Tuple[object, int]:
+        result, size = self.state.execute(operation, "direct")
+        self.cpu.charge(nbytes=self.state.execution_cost_bytes(operation))
+        if charge_disk and self.disk is not None and operation[0] in ("update", "insert", "delete", "rmw"):
+            # Commit-log append, asynchronous (memtable + commit log in Cassandra).
+            self.disk.write_async(operation[2] if len(operation) > 2 else 64)
+        return result, size
+
+    def _on_client_command(self, command: Command) -> None:
+        operation = command.operation
+        if operation[0] == "scan":
+            self._start_scan(command)
+            return
+        result, size = self._apply_locally(operation, charge_disk=True)
+        if operation[0] in ("update", "insert", "delete", "rmw"):
+            for peer in self.peers:
+                self.send(peer, _Replicate(operation=operation, operation_size=command.size_bytes))
+        done = self.cpu.charge(nbytes=command.size_bytes)
+        self.world.sim.schedule_at(
+            max(done, self.now),
+            self._reply,
+            command,
+            result if result is not None else ("miss",),
+            size,
+        )
+
+    def _reply(self, command: Command, result, size: int) -> None:
+        if self.alive and self.world.has_process(command.client):
+            self.send(
+                command.client,
+                Response(
+                    command_id=command.command_id,
+                    replica=self.name,
+                    partition=self.partition,
+                    result=result,
+                    result_size_bytes=size,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def _start_scan(self, command: Command) -> None:
+        local_result, local_size = self._apply_locally(command.operation, charge_disk=False)
+        others = {p: peer for p, peer in self.scan_peers.items() if p != self.partition}
+        if not others:
+            self._reply(command, local_result, local_size)
+            return
+        self._pending_scans[command.command_id] = (command, self.partition, set(), local_size)
+        for partition, peer in others.items():
+            self.send(
+                peer,
+                _ScanFanout(request_id=command.command_id, operation=command.operation, reply_to=self.name),
+            )
+
+    def _on_scan_fanout(self, sender: str, msg: _ScanFanout) -> None:
+        _result, size = self._apply_locally(msg.operation, charge_disk=False)
+        self.send(msg.reply_to, _ScanPartial(request_id=msg.request_id, partition=self.partition, result_size=size))
+
+    def _on_scan_partial(self, msg: _ScanPartial) -> None:
+        pending = self._pending_scans.get(msg.request_id)
+        if pending is None:
+            return
+        command, _partition, seen, total_size = pending
+        seen.add(msg.partition)
+        total_size += msg.result_size
+        self._pending_scans[msg.request_id] = (command, _partition, seen, total_size)
+        if len(seen) >= len(self.scan_peers) - 1:
+            del self._pending_scans[msg.request_id]
+            self._reply(command, ("scan", "all", len(seen) + 1), total_size)
+
+
+class EventualStore:
+    """A partitioned, replication-factor-N, eventually consistent store."""
+
+    def __init__(
+        self,
+        world: World,
+        partitions: int = 3,
+        replication_factor: int = 3,
+        scheme: str = "hash",
+        key_space: int = 100000,
+        storage_mode: StorageMode = StorageMode.ASYNC_SSD,
+    ) -> None:
+        if partitions < 1 or replication_factor < 1:
+            raise ConfigurationError("partitions and replication factor must be positive")
+        self.world = world
+        self.key_space = key_space
+        partition_names = [f"c{i}" for i in range(partitions)]
+        groups = {name: f"cass-{name}" for name in partition_names}
+        self.partition_map = PartitionMap.hashed(partition_names, groups)
+        self.replicas: Dict[str, List[_EventualReplica]] = {}
+
+        # First build the name topology so every replica knows its peers.
+        names: Dict[str, List[str]] = {
+            partition: [f"{partition}-node{i}" for i in range(replication_factor)]
+            for partition in partition_names
+        }
+        scan_peers = {partition: names[partition][0] for partition in partition_names}
+        for partition in partition_names:
+            replicas: List[_EventualReplica] = []
+            for index, name in enumerate(names[partition]):
+                peers = [other for other in names[partition] if other != name]
+                replica = _EventualReplica(
+                    world,
+                    name,
+                    partition,
+                    self.partition_map,
+                    peers=peers,
+                    scan_peers=scan_peers,
+                    disk=disk_for_mode(world.sim, storage_mode),
+                )
+                replicas.append(replica)
+            self.replicas[partition] = replicas
+        self._frontend_cycle = itertools.count()
+
+    # ------------------------------------------------------------------
+    # client-library surface (same as MRP-Store)
+    # ------------------------------------------------------------------
+    def key(self, index: int) -> str:
+        return f"user{index:012d}"
+
+    def _group_of(self, key: str) -> GroupId:
+        return self.partition_map.group_of_key(key)
+
+    def read(self, key: str, series: Optional[str] = None) -> Request:
+        return Request(("read", key), 64 + len(key), self._group_of(key), 1, series)
+
+    def update(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(("update", key, value_size), 64 + len(key) + value_size, self._group_of(key), 1, series)
+
+    def insert(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(("insert", key, value_size), 64 + len(key) + value_size, self._group_of(key), 1, series)
+
+    def delete(self, key: str, series: Optional[str] = None) -> Request:
+        return Request(("delete", key), 64 + len(key), self._group_of(key), 1, series)
+
+    def read_modify_write(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(("rmw", key, value_size), 64 + len(key) + value_size, self._group_of(key), 1, series)
+
+    def scan(self, start_key: str, end_key: str, series: Optional[str] = None) -> Request:
+        return Request(("scan", start_key, end_key), 96, self._group_of(start_key), 1, series)
+
+    def frontends_for_client(self, client_index: int = 0) -> Dict[GroupId, str]:
+        mapping: Dict[GroupId, str] = {}
+        for partition, replicas in self.replicas.items():
+            group = self.partition_map.group_of_partition(partition)
+            mapping[group] = replicas[client_index % len(replicas)].name
+        return mapping
+
+    def load(self, record_count: int, value_size: int = 1024) -> None:
+        for index in range(record_count):
+            key = self.key(index)
+            partition = self.partition_map.partition_of(key)
+            for replica in self.replicas[partition]:
+                replica.state.execute(("insert", key, value_size), "load")
+
+    def all_replicas(self) -> List[_EventualReplica]:
+        return [replica for replicas in self.replicas.values() for replica in replicas]

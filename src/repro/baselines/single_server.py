@@ -1,0 +1,129 @@
+"""A MySQL-like single-node store.
+
+The paper's second Figure 4 baseline: a single server providing strong
+consistency trivially (there is only one copy of the data), with synchronous
+commits for writes.  It has no replication and cannot scale horizontally,
+which is exactly the property the paper contrasts MRP-Store against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.services.mrpstore.partitioning import PartitionMap
+from repro.services.mrpstore.state import MRPStoreStateMachine
+from repro.sim.cpu import CPU, CPUConfig
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.process import Process
+from repro.sim.world import World
+from repro.smr.client import Request
+from repro.smr.command import Command, Response, SubmitCommand
+from repro.types import GroupId
+
+__all__ = ["SingleServerStore"]
+
+_WRITE_OPS = ("update", "insert", "delete", "rmw")
+
+
+class _Server(Process):
+    """The single database server."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        partition_map: PartitionMap,
+        disk: Optional[Disk],
+        site: Optional[str] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self.state = MRPStoreStateMachine("db", partition_map)
+        self.cpu = CPU(world.sim, CPUConfig())
+        self.disk = disk
+        self.commands = 0
+
+    def on_message(self, sender: str, payload) -> None:
+        if not isinstance(payload, SubmitCommand):
+            return
+        self._execute(payload.command)
+
+    def _execute(self, command: Command) -> None:
+        self.commands += 1
+        operation = command.operation
+        result, size = self.state.execute(operation, "db")
+        cpu_done = self.cpu.charge(nbytes=command.size_bytes + self.state.execution_cost_bytes(operation))
+        if operation[0] in _WRITE_OPS and self.disk is not None:
+            # Synchronous commit: the response waits for the redo-log fsync.
+            done = self.disk.write(command.size_bytes + 128)
+            done = max(done, cpu_done)
+        else:
+            done = cpu_done
+        self.world.sim.schedule_at(
+            max(done, self.now), self._reply, command, result if result is not None else ("miss",), size
+        )
+
+    def _reply(self, command: Command, result, size: int) -> None:
+        if self.alive and self.world.has_process(command.client):
+            self.send(
+                command.client,
+                Response(
+                    command_id=command.command_id,
+                    replica=self.name,
+                    partition="db",
+                    result=result,
+                    result_size_bytes=size,
+                ),
+            )
+
+
+class SingleServerStore:
+    """A single-server SQL-like store with the MRP-Store client surface."""
+
+    GROUP: GroupId = "sql"
+
+    def __init__(
+        self,
+        world: World,
+        storage_mode: StorageMode = StorageMode.SYNC_SSD,
+        server_name: str = "mysql",
+        site: Optional[str] = None,
+    ) -> None:
+        self.world = world
+        # A single-partition map: every key lives on the one server.
+        self.partition_map = PartitionMap.hashed(["db"], {"db": self.GROUP})
+        self.server = _Server(
+            world,
+            server_name,
+            self.partition_map,
+            disk=disk_for_mode(world.sim, storage_mode),
+            site=site,
+        )
+
+    # ------------------------------------------------------------------
+    def key(self, index: int) -> str:
+        return f"user{index:012d}"
+
+    def read(self, key: str, series: Optional[str] = None) -> Request:
+        return Request(("read", key), 64 + len(key), self.GROUP, 1, series)
+
+    def update(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(("update", key, value_size), 64 + len(key) + value_size, self.GROUP, 1, series)
+
+    def insert(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(("insert", key, value_size), 64 + len(key) + value_size, self.GROUP, 1, series)
+
+    def delete(self, key: str, series: Optional[str] = None) -> Request:
+        return Request(("delete", key), 64 + len(key), self.GROUP, 1, series)
+
+    def read_modify_write(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(("rmw", key, value_size), 64 + len(key) + value_size, self.GROUP, 1, series)
+
+    def scan(self, start_key: str, end_key: str, series: Optional[str] = None) -> Request:
+        return Request(("scan", start_key, end_key), 96, self.GROUP, 1, series)
+
+    def frontends_for_client(self, client_index: int = 0) -> Dict[GroupId, str]:
+        return {self.GROUP: self.server.name}
+
+    def load(self, record_count: int, value_size: int = 1024) -> None:
+        for index in range(record_count):
+            self.server.state.execute(("insert", self.key(index), value_size), "load")

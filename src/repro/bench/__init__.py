@@ -1,0 +1,34 @@
+"""Benchmark harness: one runner per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_figureN(...)`` function returning a plain dict of
+results (series, throughputs, latencies) plus a formatted text report.  The
+``benchmarks/`` directory wraps these runners with pytest-benchmark at reduced
+scale; ``python -m repro.bench <figure>`` runs them standalone, optionally at
+paper scale.
+
+Absolute numbers come from the simulator's calibration constants and are not
+expected to match the paper's hardware; the *shapes* (which system wins, how
+scaling behaves, where storage modes separate) are the reproduction targets
+and are recorded in EXPERIMENTS.md.
+"""
+
+from repro.bench.figure3 import run_figure3
+from repro.bench.figure4 import run_figure4
+from repro.bench.figure5 import run_figure5
+from repro.bench.figure6 import run_figure6
+from repro.bench.figure7 import run_figure7
+from repro.bench.figure8 import run_figure8
+from repro.bench.ablations import run_rate_leveling_ablation, run_merge_granularity_ablation
+from repro.bench.report import format_table
+
+__all__ = [
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_rate_leveling_ablation",
+    "run_merge_granularity_ablation",
+    "format_table",
+]

@@ -1,0 +1,123 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **Rate leveling** (Section 4): with rate leveling disabled, a learner that
+  subscribes to a busy ring and a nearly idle ring can only deliver at the
+  idle ring's pace; with it enabled, skip instances keep the idle ring moving
+  and the busy ring's throughput is preserved.
+* **Merge granularity M**: larger values of M amortize the round-robin
+  switching but delay messages of other rings; the ablation sweeps M and
+  reports the throughput/latency trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bench.drivers import ClosedLoopProposerDriver
+from repro.bench.report import format_table
+from repro.config import MultiRingConfig, RingConfig
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.sim.disk import StorageMode
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+
+__all__ = ["run_rate_leveling_ablation", "run_merge_granularity_ablation"]
+
+
+def _two_ring_world(config: MultiRingConfig, seed: int) -> Deployment:
+    """Two rings; the shared learner subscribes to both; only ring-1 carries load."""
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    deployment = Deployment(world, config)
+    busy_members = ["busy-1", "busy-2", "busy-3"]
+    idle_members = ["idle-1", "idle-2", "idle-3"]
+    for name in busy_members + idle_members:
+        deployment.add_node(name)
+    # The learners of the busy ring also subscribe to the idle ring, which is
+    # what couples their delivery rates through the deterministic merge.
+    deployment.add_ring(RingSpec(group="ring-busy", members=busy_members))
+    deployment.add_ring(
+        RingSpec(
+            group="ring-idle",
+            members=idle_members + busy_members,
+            acceptors=idle_members,
+            proposers=idle_members,
+            learners=busy_members,
+        )
+    )
+    return deployment
+
+
+def _run_rate_leveling_case(rate_leveling: bool, duration: float, seed: int) -> Dict[str, float]:
+    config = MultiRingConfig.datacenter(rate_leveling=rate_leveling)
+    deployment = _two_ring_world(config, seed)
+    series = f"ablation-leveling-{rate_leveling}"
+    drivers = [
+        ClosedLoopProposerDriver(deployment.node(name), "ring-busy", 1024, 10, series)
+        for name in ("busy-1", "busy-2", "busy-3")
+    ]
+    deployment.world.start()
+    for driver in drivers:
+        driver.start()
+    deployment.world.run(until=duration)
+    monitor = deployment.world.monitor
+    stats = monitor.latency_stats(series)
+    return {
+        "throughput_ops": monitor.throughput_ops(series, start=duration * 0.2, end=duration),
+        "latency_ms": stats.mean * 1e3,
+        "delivered": float(sum(driver.completed for driver in drivers)),
+    }
+
+
+def run_rate_leveling_ablation(duration: float = 5.0, seed: int = 42) -> Dict:
+    """Busy ring + idle ring, with and without rate leveling."""
+    with_leveling = _run_rate_leveling_case(True, duration, seed)
+    without_leveling = _run_rate_leveling_case(False, duration, seed)
+    rows = [
+        ["rate leveling on", with_leveling["throughput_ops"], with_leveling["latency_ms"]],
+        ["rate leveling off", without_leveling["throughput_ops"], without_leveling["latency_ms"]],
+    ]
+    report = format_table(
+        "Ablation: rate leveling (busy ring + idle ring, shared learners)",
+        ["configuration", "busy-ring ops/s", "latency (ms)"],
+        rows,
+    )
+    return {
+        "experiment": "ablation-rate-leveling",
+        "with_leveling": with_leveling,
+        "without_leveling": without_leveling,
+        "report": report,
+    }
+
+
+def run_merge_granularity_ablation(
+    m_values: Sequence[int] = (1, 4, 16),
+    duration: float = 5.0,
+    seed: int = 42,
+) -> Dict:
+    """Sweep the deterministic-merge granularity M on a two-ring deployment."""
+    results: Dict[int, Dict[str, float]] = {}
+    for m in m_values:
+        config = MultiRingConfig.datacenter(m=m)
+        deployment = _two_ring_world(config, seed)
+        series = f"ablation-m-{m}"
+        drivers = [
+            ClosedLoopProposerDriver(deployment.node(name), "ring-busy", 1024, 10, series)
+            for name in ("busy-1", "busy-2", "busy-3")
+        ]
+        deployment.world.start()
+        for driver in drivers:
+            driver.start()
+        deployment.world.run(until=duration)
+        monitor = deployment.world.monitor
+        stats = monitor.latency_stats(series)
+        results[m] = {
+            "throughput_ops": monitor.throughput_ops(series, start=duration * 0.2, end=duration),
+            "latency_ms": stats.mean * 1e3,
+        }
+    rows = [[m, results[m]["throughput_ops"], results[m]["latency_ms"]] for m in m_values]
+    report = format_table(
+        "Ablation: deterministic-merge granularity M",
+        ["M", "busy-ring ops/s", "latency (ms)"],
+        rows,
+    )
+    return {"experiment": "ablation-merge-granularity", "results": results, "report": report}

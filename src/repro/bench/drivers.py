@@ -1,0 +1,72 @@
+"""Benchmark load drivers that do not go through the client/replica stack.
+
+The Figure 3 baseline drives Multi-Ring Paxos directly with a "dummy service":
+proposer processes keep a fixed number of values outstanding and propose a new
+one as soon as one of theirs is delivered locally.  That is what
+:class:`ClosedLoopProposerDriver` implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.multiring.merge import Delivery
+from repro.multiring.node import MultiRingNode
+from repro.types import GroupId
+
+__all__ = ["ClosedLoopProposerDriver"]
+
+
+class ClosedLoopProposerDriver:
+    """Keeps ``threads`` proposals outstanding on one node, one group.
+
+    Each outstanding slot mimics one proposer thread of the paper's setup:
+    it proposes a value and proposes the next one only after the local
+    learner delivered the previous one.  Latencies are recorded in the world
+    monitor under ``series``.
+    """
+
+    def __init__(
+        self,
+        node: MultiRingNode,
+        group: GroupId,
+        value_size: int,
+        threads: int,
+        series: str,
+        payload_tag: Optional[str] = None,
+    ) -> None:
+        self.node = node
+        self.group = group
+        self.value_size = value_size
+        self.threads = threads
+        self.series = series
+        self.payload_tag = payload_tag or f"dummy-{node.name}"
+        self._outstanding: Set[int] = set()
+        self.completed = 0
+        node.on_deliver(self._on_delivery)
+
+    def start(self) -> None:
+        """Issue the initial window of proposals.  Call after the world started."""
+        for _ in range(self.threads):
+            self._propose()
+
+    def _propose(self) -> None:
+        if not self.node.alive:
+            return
+        value = self.node.multicast(self.group, self.payload_tag, self.value_size)
+        self._outstanding.add(value.uid)
+
+    def _on_delivery(self, delivery: Delivery) -> None:
+        uid = delivery.value.uid
+        if uid not in self._outstanding:
+            return
+        self._outstanding.discard(uid)
+        self.completed += 1
+        latency = self.node.now - delivery.value.created_at
+        self.node.world.monitor.record_operation(
+            self.series,
+            completion_time=self.node.now,
+            latency=latency,
+            size_bytes=delivery.value.size_bytes,
+        )
+        self._propose()

@@ -1,0 +1,167 @@
+"""Figure 3: Multi-Ring Paxos baseline with different storage modes and sizes.
+
+Paper setup (Section 8.3.1): one ring with three processes, all of which are
+proposers, acceptors and learners; one acceptor is the coordinator; each
+proposer runs 10 closed-loop threads; request sizes from 512 bytes to 32 KB;
+batching disabled; five storage modes.  Reported metrics: throughput (Mbps),
+average latency (ms), CPU utilization at the coordinator (%), and the latency
+CDF for 32 KB requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.drivers import ClosedLoopProposerDriver
+from repro.bench.report import format_table
+from repro.config import MultiRingConfig, RingConfig
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.sim.cpu import CPUConfig
+from repro.sim.disk import StorageMode
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+
+__all__ = ["run_figure3", "DEFAULT_VALUE_SIZES", "DEFAULT_STORAGE_MODES"]
+
+DEFAULT_VALUE_SIZES = (512, 2048, 8192, 32768)
+DEFAULT_STORAGE_MODES = (
+    StorageMode.SYNC_HDD,
+    StorageMode.SYNC_SSD,
+    StorageMode.ASYNC_HDD,
+    StorageMode.ASYNC_SSD,
+    StorageMode.MEMORY,
+)
+
+#: CPU overhead factors per storage mode.  The paper observes the highest
+#: coordinator CPU in asynchronous-disk mode (Java garbage collection over
+#: heap buffers) and the lowest relative overhead in-memory (off-heap buffers).
+_CPU_OVERHEAD = {
+    StorageMode.MEMORY: 1.0,
+    StorageMode.ASYNC_HDD: 1.7,
+    StorageMode.ASYNC_SSD: 1.7,
+    StorageMode.SYNC_HDD: 1.2,
+    StorageMode.SYNC_SSD: 1.2,
+}
+
+
+def _run_single(
+    storage_mode: StorageMode,
+    value_size: int,
+    duration: float,
+    proposer_threads: int,
+    seed: int,
+) -> Dict[str, float]:
+    """One cell of Figure 3: one storage mode, one request size."""
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    config = MultiRingConfig.datacenter(
+        ring=RingConfig(
+            storage_mode=storage_mode,
+            cpu=CPUConfig(overhead_factor=_CPU_OVERHEAD[storage_mode]),
+        )
+    )
+    deployment = Deployment(world, config)
+    members = ["node-1", "node-2", "node-3"]
+    for name in members:
+        deployment.add_node(name, cpu_config=config.ring.cpu)
+    deployment.add_ring(
+        RingSpec(group="ring-1", members=members, storage_mode=storage_mode)
+    )
+    drivers = [
+        ClosedLoopProposerDriver(
+            deployment.node(name),
+            "ring-1",
+            value_size=value_size,
+            threads=proposer_threads,
+            series="figure3",
+        )
+        for name in members
+    ]
+    world.start()
+    for driver in drivers:
+        driver.start()
+    warmup = duration * 0.2
+    world.run(until=duration)
+
+    monitor = world.monitor
+    coordinator = deployment.coordinator_of("ring-1")
+    stats = monitor.latency_stats("figure3")
+    return {
+        "throughput_mbps": monitor.throughput_mbps("figure3", start=warmup, end=duration),
+        "throughput_ops": monitor.throughput_ops("figure3", start=warmup, end=duration),
+        "latency_ms": stats.mean * 1e3,
+        "latency_p99_ms": stats.p99 * 1e3,
+        "coordinator_cpu_percent": coordinator.cpu_utilization_percent(0.0, duration),
+        "completed": float(sum(driver.completed for driver in drivers)),
+    }
+
+
+def run_figure3(
+    value_sizes: Sequence[int] = DEFAULT_VALUE_SIZES,
+    storage_modes: Sequence[StorageMode] = DEFAULT_STORAGE_MODES,
+    duration: float = 20.0,
+    proposer_threads: int = 10,
+    cdf_value_size: int = 32768,
+    seed: int = 42,
+) -> Dict:
+    """Run the full Figure 3 sweep and return results plus a text report."""
+    cells: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for mode in storage_modes:
+        cells[mode.value] = {}
+        for size in value_sizes:
+            cells[mode.value][size] = _run_single(mode, size, duration, proposer_threads, seed)
+
+    # Latency CDF for the largest request size, per storage mode (bottom-right graph).
+    cdf: Dict[str, List] = {}
+    for mode in storage_modes:
+        world = World(topology=lan_topology(), seed=seed + 1, timeline_window=0.5)
+        config = MultiRingConfig.datacenter(
+            ring=RingConfig(storage_mode=mode, cpu=CPUConfig(overhead_factor=_CPU_OVERHEAD[mode]))
+        )
+        deployment = Deployment(world, config)
+        members = ["node-1", "node-2", "node-3"]
+        for name in members:
+            deployment.add_node(name, cpu_config=config.ring.cpu)
+        deployment.add_ring(RingSpec(group="ring-1", members=members, storage_mode=mode))
+        drivers = [
+            ClosedLoopProposerDriver(
+                deployment.node(name), "ring-1", cdf_value_size, proposer_threads, "figure3-cdf"
+            )
+            for name in members
+        ]
+        world.start()
+        for driver in drivers:
+            driver.start()
+        world.run(until=duration / 2)
+        cdf[mode.value] = [
+            (latency * 1e3, fraction)
+            for latency, fraction in world.monitor.latency_cdf("figure3-cdf", points=20)
+        ]
+
+    headers = ["storage mode"] + [f"{size}B" for size in value_sizes]
+    throughput_rows = [
+        [mode.value] + [cells[mode.value][size]["throughput_mbps"] for size in value_sizes]
+        for mode in storage_modes
+    ]
+    latency_rows = [
+        [mode.value] + [cells[mode.value][size]["latency_ms"] for size in value_sizes]
+        for mode in storage_modes
+    ]
+    cpu_rows = [
+        [mode.value] + [cells[mode.value][size]["coordinator_cpu_percent"] for size in value_sizes]
+        for mode in storage_modes
+    ]
+    report = "\n\n".join(
+        [
+            format_table("Figure 3 (top-left): throughput (Mbps)", headers, throughput_rows),
+            format_table("Figure 3 (top-right): average latency (ms)", headers, latency_rows),
+            format_table("Figure 3 (bottom-left): coordinator CPU (%)", headers, cpu_rows),
+        ]
+    )
+    return {
+        "experiment": "figure3",
+        "cells": cells,
+        "cdf_ms": cdf,
+        "value_sizes": list(value_sizes),
+        "storage_modes": [mode.value for mode in storage_modes],
+        "report": report,
+    }

@@ -1,0 +1,174 @@
+"""Figure 4: MRP-Store vs Cassandra-like vs MySQL-like under YCSB.
+
+Paper setup (Section 8.3.2): three partitions, replication factor three, 100
+client threads, database initialized with 1 GB of data, acceptors writing
+asynchronously to disk.  MRP-Store is measured both with the global ring
+(full cross-partition ordering) and with independent rings.  Reported
+metrics: throughput in operations/second per workload (top graph) and the
+read / update / read-modify-write latency breakdown for workload F (bottom
+graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.eventual_store import EventualStore
+from repro.baselines.single_server import SingleServerStore
+from repro.bench.report import format_table
+from repro.config import MultiRingConfig
+from repro.services.mrpstore import MRPStore
+from repro.sim.disk import StorageMode
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+from repro.smr.client import ClosedLoopClient
+from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBWorkload
+
+__all__ = ["run_figure4", "DEFAULT_SYSTEMS", "DEFAULT_WORKLOADS"]
+
+DEFAULT_SYSTEMS = ("cassandra", "mrp-store-indep", "mrp-store", "mysql")
+DEFAULT_WORKLOADS = ("A", "B", "C", "D", "E", "F")
+
+
+def _build_system(name: str, world: World, record_count: int):
+    """Instantiate one of the compared systems in ``world`` and load the data."""
+    if name == "cassandra":
+        system = EventualStore(world, partitions=3, replication_factor=3)
+    elif name == "mysql":
+        system = SingleServerStore(world, storage_mode=StorageMode.SYNC_SSD)
+    elif name == "mrp-store":
+        system = MRPStore(
+            world,
+            partitions=3,
+            replicas_per_partition=3,
+            acceptors_per_partition=3,
+            use_global_ring=True,
+            storage_mode=StorageMode.ASYNC_SSD,
+            config=MultiRingConfig.datacenter(),
+        )
+    elif name == "mrp-store-indep":
+        system = MRPStore(
+            world,
+            partitions=3,
+            replicas_per_partition=3,
+            acceptors_per_partition=3,
+            use_global_ring=False,
+            storage_mode=StorageMode.ASYNC_SSD,
+            config=MultiRingConfig.datacenter(),
+        )
+    else:
+        raise ValueError(f"unknown system {name!r}")
+    system.load(record_count, value_size=1000)
+    return system
+
+
+def _run_cell(
+    system_name: str,
+    workload_name: str,
+    record_count: int,
+    client_threads: int,
+    client_machines: int,
+    duration: float,
+    seed: int,
+    split_operations: bool = False,
+) -> Dict[str, float]:
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    system = _build_system(system_name, world, record_count)
+    config = YCSB_WORKLOADS[workload_name].scaled(record_count)
+    series = f"{system_name}/{workload_name}"
+    clients: List[ClosedLoopClient] = []
+    threads_per_machine = max(1, client_threads // client_machines)
+    for index in range(client_machines):
+        workload = YCSBWorkload(system, config, series=series)
+        workload.split_series_by_operation = split_operations
+        clients.append(
+            ClosedLoopClient(
+                world,
+                f"client-{index}",
+                workload,
+                system.frontends_for_client(index),
+                threads=threads_per_machine,
+                series=series,
+            )
+        )
+    world.run(until=duration)
+    monitor = world.monitor
+    warmup = duration * 0.2
+    if split_operations:
+        result: Dict[str, float] = {}
+        for operation in ("read", "update", "read-modify-write"):
+            stats = monitor.latency_stats(f"{series}/{operation}")
+            result[f"latency_{operation}_ms"] = stats.mean * 1e3
+        result["throughput_ops"] = sum(
+            monitor.throughput_ops(name, start=warmup, end=duration)
+            for name in monitor.series_names()
+            if name.startswith(series)
+        )
+        return result
+    stats = monitor.latency_stats(series)
+    return {
+        "throughput_ops": monitor.throughput_ops(series, start=warmup, end=duration),
+        "latency_ms": stats.mean * 1e3,
+        "completed": float(sum(client.completed for client in clients)),
+    }
+
+
+def run_figure4(
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    record_count: int = 10000,
+    client_threads: int = 100,
+    client_machines: int = 4,
+    duration: float = 10.0,
+    seed: int = 42,
+) -> Dict:
+    """Run the YCSB comparison and the workload-F latency breakdown."""
+    throughput: Dict[str, Dict[str, float]] = {}
+    for system in systems:
+        throughput[system] = {}
+        for workload in workloads:
+            cell = _run_cell(
+                system, workload, record_count, client_threads, client_machines, duration, seed
+            )
+            throughput[system][workload] = cell["throughput_ops"]
+
+    breakdown: Dict[str, Dict[str, float]] = {}
+    if "F" in workloads:
+        for system in systems:
+            breakdown[system] = _run_cell(
+                system,
+                "F",
+                record_count,
+                client_threads,
+                client_machines,
+                duration,
+                seed + 1,
+                split_operations=True,
+            )
+
+    headers = ["system"] + [f"workload {w}" for w in workloads]
+    rows = [[system] + [throughput[system][w] for w in workloads] for system in systems]
+    report = format_table("Figure 4 (top): YCSB throughput (ops/s)", headers, rows)
+    if breakdown:
+        rows_f = [
+            [
+                system,
+                breakdown[system].get("latency_read_ms", 0.0),
+                breakdown[system].get("latency_update_ms", 0.0),
+                breakdown[system].get("latency_read-modify-write_ms", 0.0),
+            ]
+            for system in systems
+        ]
+        report += "\n\n" + format_table(
+            "Figure 4 (bottom): workload F latency (ms)",
+            ["system", "read", "update", "read-modify-write"],
+            rows_f,
+        )
+    return {
+        "experiment": "figure4",
+        "throughput_ops": throughput,
+        "workload_f_breakdown": breakdown,
+        "systems": list(systems),
+        "workloads": list(workloads),
+        "report": report,
+    }

@@ -1,0 +1,116 @@
+"""Figure 5: dLog vs a Bookkeeper-like ensemble log.
+
+Paper setup (Section 8.3.3): both systems write synchronously to disk; dLog
+uses two rings with three acceptors per ring, learners subscribe to both
+rings; Bookkeeper uses an ensemble of the same three nodes; a multithreaded
+client sends 1 KB append requests.  Reported metrics: throughput (ops/s) and
+average latency (ms) as the number of client threads grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines.ensemble_log import EnsembleLog
+from repro.bench.report import format_table
+from repro.config import MultiRingConfig
+from repro.services.dlog import DLog
+from repro.sim.disk import StorageMode
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+from repro.smr.client import ClosedLoopClient
+from repro.workloads.simple import AppendWorkload
+
+__all__ = ["run_figure5", "DEFAULT_CLIENT_COUNTS"]
+
+DEFAULT_CLIENT_COUNTS = (1, 25, 50, 100, 150, 200)
+_APPEND_SIZE = 1024
+
+
+def _run_dlog(client_threads: int, duration: float, seed: int) -> Dict[str, float]:
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    dlog = DLog(
+        world,
+        logs=("log-0", "log-1"),
+        replicas=1,
+        acceptors_per_log=3,
+        storage_mode=StorageMode.SYNC_SSD,
+        use_global_ring=True,
+        config=MultiRingConfig.datacenter(),
+    )
+    series = f"dlog/{client_threads}"
+    workload = AppendWorkload(dlog, logs=["log-0", "log-1"], append_size=_APPEND_SIZE, series=series)
+    client = ClosedLoopClient(
+        world,
+        "dlog-client",
+        workload,
+        dlog.frontends_for_client(0),
+        threads=client_threads,
+        series=series,
+    )
+    world.run(until=duration)
+    warmup = duration * 0.2
+    stats = world.monitor.latency_stats(series)
+    return {
+        "throughput_ops": world.monitor.throughput_ops(series, start=warmup, end=duration),
+        "latency_ms": stats.mean * 1e3,
+        "completed": float(client.completed),
+    }
+
+
+def _run_bookkeeper(client_threads: int, duration: float, seed: int) -> Dict[str, float]:
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    bookkeeper = EnsembleLog(world, bookies=3, ack_quorum=2, storage_mode=StorageMode.SYNC_SSD)
+    series = f"bookkeeper/{client_threads}"
+
+    class _BKAppends:
+        def next_request(self, rng):
+            return bookkeeper.append("ledger", _APPEND_SIZE, series=series)
+
+    client = ClosedLoopClient(
+        world,
+        "bk-client",
+        _BKAppends(),
+        bookkeeper.frontends_for_client(0),
+        threads=client_threads,
+        series=series,
+    )
+    world.run(until=duration)
+    warmup = duration * 0.2
+    stats = world.monitor.latency_stats(series)
+    return {
+        "throughput_ops": world.monitor.throughput_ops(series, start=warmup, end=duration),
+        "latency_ms": stats.mean * 1e3,
+        "completed": float(client.completed),
+    }
+
+
+def run_figure5(
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    duration: float = 10.0,
+    seed: int = 42,
+) -> Dict:
+    """Sweep the number of client threads for dLog and the Bookkeeper-like baseline."""
+    results: Dict[str, Dict[int, Dict[str, float]]] = {"dlog": {}, "bookkeeper": {}}
+    for count in client_counts:
+        results["dlog"][count] = _run_dlog(count, duration, seed)
+        results["bookkeeper"][count] = _run_bookkeeper(count, duration, seed)
+
+    headers = ["clients", "dLog ops/s", "Bookkeeper ops/s", "dLog latency ms", "Bookkeeper latency ms"]
+    rows = [
+        [
+            count,
+            results["dlog"][count]["throughput_ops"],
+            results["bookkeeper"][count]["throughput_ops"],
+            results["dlog"][count]["latency_ms"],
+            results["bookkeeper"][count]["latency_ms"],
+        ]
+        for count in client_counts
+    ]
+    report = format_table("Figure 5: dLog vs Bookkeeper (1 KB appends, sync disk)", headers, rows)
+    return {
+        "experiment": "figure5",
+        "results": results,
+        "client_counts": list(client_counts),
+        "report": report,
+    }

@@ -1,0 +1,121 @@
+"""Figure 6: vertical scalability of dLog.
+
+Paper setup (Section 8.4.1): the number of rings (logs) grows from 1 to 5;
+each ring has three processes and is associated with its own disk, so adding
+rings adds storage resources to the same machines; learners subscribe to all
+``k`` rings plus a common ring; clients generate 1 KB appends that are batched
+into 32 KB packets by a proxy; acceptors write asynchronously.  Reported
+metrics: aggregate throughput (ops/s, stacked per ring/disk) and the latency
+CDF for writes to disk 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.report import format_table
+from repro.config import BatchingConfig, MultiRingConfig
+from repro.services.dlog import DLog
+from repro.sim.disk import StorageMode
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+from repro.smr.client import ClosedLoopClient
+from repro.workloads.simple import AppendWorkload
+
+__all__ = ["run_figure6", "DEFAULT_RING_COUNTS"]
+
+DEFAULT_RING_COUNTS = (1, 2, 3, 4, 5)
+_APPEND_SIZE = 1024
+
+
+def _run_with_rings(
+    ring_count: int,
+    clients_per_ring: int,
+    duration: float,
+    seed: int,
+    storage_mode: StorageMode,
+) -> Dict:
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    logs = [f"log-{i}" for i in range(ring_count)]
+    dlog = DLog(
+        world,
+        logs=logs,
+        replicas=1,
+        acceptors_per_log=2,
+        storage_mode=storage_mode,
+        use_global_ring=True,
+        config=MultiRingConfig.datacenter(),
+        batching=BatchingConfig(enabled=True, max_batch_bytes=32 * 1024, max_batch_delay=1e-3),
+    )
+    clients: List[ClosedLoopClient] = []
+    for index, log in enumerate(logs):
+        workload = AppendWorkload(dlog, logs=[log], append_size=_APPEND_SIZE, series=f"append-{log}")
+        clients.append(
+            ClosedLoopClient(
+                world,
+                f"client-{log}",
+                workload,
+                dlog.frontends_for_client(index),
+                threads=clients_per_ring,
+                series=f"append-{log}",
+            )
+        )
+    world.run(until=duration)
+    warmup = duration * 0.2
+    per_ring = {
+        log: world.monitor.throughput_ops(f"append-{log}", start=warmup, end=duration) for log in logs
+    }
+    stats_disk1 = world.monitor.latency_stats(f"append-{logs[0]}")
+    cdf_disk1 = [
+        (latency * 1e3, fraction)
+        for latency, fraction in world.monitor.latency_cdf(f"append-{logs[0]}", points=20)
+    ]
+    return {
+        "per_ring_ops": per_ring,
+        "aggregate_ops": sum(per_ring.values()),
+        "latency_disk1_ms": stats_disk1.mean * 1e3,
+        "cdf_disk1_ms": cdf_disk1,
+    }
+
+
+def run_figure6(
+    ring_counts: Sequence[int] = DEFAULT_RING_COUNTS,
+    clients_per_ring: int = 20,
+    duration: float = 10.0,
+    storage_mode: StorageMode = StorageMode.ASYNC_HDD,
+    seed: int = 42,
+) -> Dict:
+    """Sweep the number of rings/disks and measure aggregate dLog throughput."""
+    results: Dict[int, Dict] = {}
+    for count in ring_counts:
+        results[count] = _run_with_rings(count, clients_per_ring, duration, seed, storage_mode)
+
+    rows = []
+    previous = None
+    for count in ring_counts:
+        aggregate = results[count]["aggregate_ops"]
+        if previous is None or previous <= 0:
+            scaling = 100.0
+        else:
+            # Scalability relative to the previous step, as the paper annotates.
+            scaling = 100.0 * (aggregate / count) / (previous / (count - 1))
+        previous = aggregate
+        rows.append(
+            [
+                count,
+                aggregate,
+                results[count]["latency_disk1_ms"],
+                f"{scaling:.0f}%",
+            ]
+        )
+    report = format_table(
+        "Figure 6: dLog vertical scalability (async disk, one disk per ring)",
+        ["rings", "aggregate ops/s", "latency disk 1 (ms)", "relative scaling"],
+        rows,
+    )
+    return {
+        "experiment": "figure6",
+        "results": results,
+        "ring_counts": list(ring_counts),
+        "report": report,
+    }

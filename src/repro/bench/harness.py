@@ -1,0 +1,132 @@
+"""Programmatic access to every experiment at a chosen scale.
+
+The pytest-benchmark suite and EXPERIMENTS.md generation both need "run
+experiment X at scale Y" as a single call; this module centralizes the scale
+presets so the CLI (:mod:`repro.bench.__main__`), the benchmarks and the
+documentation all use the same parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.bench.ablations import run_merge_granularity_ablation, run_rate_leveling_ablation
+from repro.bench.figure3 import run_figure3
+from repro.bench.figure4 import run_figure4
+from repro.bench.figure5 import run_figure5
+from repro.bench.figure6 import run_figure6
+from repro.bench.figure7 import run_figure7
+from repro.bench.figure8 import run_figure8
+
+__all__ = ["run_experiment", "EXPERIMENTS", "SCALES"]
+
+SCALES = ("smoke", "quick", "paper")
+
+
+def _params(scale: str, smoke: Dict, quick: Dict, paper: Dict) -> Dict:
+    if scale == "smoke":
+        return smoke
+    if scale == "paper":
+        return paper
+    return quick
+
+
+def run_experiment(name: str, scale: str = "quick") -> Dict:
+    """Run experiment ``name`` ("figure3" ... "figure8", "ablations") at ``scale``."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    if name == "figure3":
+        return run_figure3(
+            **_params(
+                scale,
+                smoke={"value_sizes": (512, 32768), "duration": 2.0},
+                quick={"value_sizes": (512, 8192, 32768), "duration": 5.0},
+                paper={"duration": 30.0},
+            )
+        )
+    if name == "figure4":
+        return run_figure4(
+            **_params(
+                scale,
+                smoke={
+                    "workloads": ("A", "E"),
+                    "record_count": 500,
+                    "client_threads": 8,
+                    "client_machines": 1,
+                    "duration": 2.0,
+                },
+                quick={
+                    "record_count": 3000,
+                    "client_threads": 32,
+                    "client_machines": 2,
+                    "duration": 5.0,
+                },
+                paper={"record_count": 100000, "client_threads": 100, "duration": 30.0},
+            )
+        )
+    if name == "figure5":
+        return run_figure5(
+            **_params(
+                scale,
+                smoke={"client_counts": (1, 50), "duration": 2.0},
+                quick={"client_counts": (1, 50, 200), "duration": 5.0},
+                paper={"duration": 20.0},
+            )
+        )
+    if name == "figure6":
+        return run_figure6(
+            **_params(
+                scale,
+                smoke={"ring_counts": (1, 2), "duration": 2.0, "clients_per_ring": 5},
+                quick={"ring_counts": (1, 2, 3), "duration": 5.0, "clients_per_ring": 10},
+                paper={"duration": 20.0, "clients_per_ring": 40},
+            )
+        )
+    if name == "figure7":
+        return run_figure7(
+            **_params(
+                scale,
+                smoke={"region_counts": (1, 2), "duration": 5.0, "clients_per_region": 5},
+                quick={"region_counts": (1, 2, 4), "duration": 10.0, "clients_per_region": 10},
+                paper={"duration": 60.0, "clients_per_region": 40},
+            )
+        )
+    if name == "figure8":
+        return run_figure8(
+            **_params(
+                scale,
+                smoke={
+                    "duration": 30.0,
+                    "crash_at": 5.0,
+                    "recover_at": 20.0,
+                    "checkpoint_interval": 4.0,
+                    "trim_interval": 8.0,
+                    "client_threads": 4,
+                    "record_count": 200,
+                },
+                quick={
+                    "duration": 60.0,
+                    "crash_at": 10.0,
+                    "recover_at": 40.0,
+                    "checkpoint_interval": 8.0,
+                    "trim_interval": 15.0,
+                    "client_threads": 8,
+                    "record_count": 500,
+                },
+                paper={"duration": 300.0},
+            )
+        )
+    if name == "ablations":
+        duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
+        leveling = run_rate_leveling_ablation(duration=duration)
+        granularity = run_merge_granularity_ablation(duration=duration)
+        return {
+            "experiment": "ablations",
+            "rate_leveling": leveling,
+            "merge_granularity": granularity,
+            "report": leveling["report"] + "\n\n" + granularity["report"],
+        }
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+EXPERIMENTS = ("figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "ablations")

@@ -1,0 +1,46 @@
+"""Plain-text reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an ASCII table with a title line (used by the CLI and EXPERIMENTS.md)."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, points: Sequence[Sequence[float]], x_label: str = "x", y_label: str = "y") -> str:
+    """Render a two-column series (e.g. a latency CDF or a throughput timeline)."""
+    return format_table(title, [x_label, y_label], points)
+
+
+def format_kv(title: str, mapping: Dict[str, object]) -> str:
+    """Render a key/value summary block."""
+    rows = [(key, mapping[key]) for key in mapping]
+    return format_table(title, ["metric", "value"], rows)

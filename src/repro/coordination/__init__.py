@@ -1,0 +1,18 @@
+"""Coordination service (Zookeeper substitute).
+
+The paper delegates ring configuration, coordinator election and the
+partitioning schema to Zookeeper (Sections 4 and 7).  The reproduction
+provides :class:`~repro.coordination.registry.Registry`, a small strongly
+consistent configuration store shared by all processes of a world, plus a
+deterministic coordinator-election rule.
+
+The registry is intentionally *not* a simulated process: Zookeeper accesses
+are rare (ring setup, membership changes, partition-map lookups) and are not
+on the critical path of any experiment in the paper, so modelling their
+latency would only add noise.  This substitution is recorded in DESIGN.md.
+"""
+
+from repro.coordination.registry import Registry, RingDescriptor
+from repro.coordination.election import elect_coordinator
+
+__all__ = ["Registry", "RingDescriptor", "elect_coordinator"]

@@ -1,0 +1,34 @@
+"""Coordinator election.
+
+Ring Paxos elects one of the acceptors as coordinator.  The paper handles
+this through Zookeeper; the reproduction uses the deterministic rule
+"first live acceptor in ring order", which every process can evaluate locally
+from the registry's membership view.  The rule is stable (the coordinator
+only changes when the current one crashes) because ring order is fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import CoordinationError
+
+__all__ = ["elect_coordinator"]
+
+
+def elect_coordinator(
+    acceptors_in_ring_order: Sequence[str],
+    is_alive: Optional[Callable[[str], bool]] = None,
+) -> str:
+    """Return the coordinator: the first acceptor in ring order that is alive.
+
+    ``is_alive`` defaults to "everyone is alive", which matches initial ring
+    construction; during a run the registry passes the world's liveness view.
+    """
+    if not acceptors_in_ring_order:
+        raise CoordinationError("cannot elect a coordinator from an empty acceptor set")
+    alive = is_alive or (lambda _name: True)
+    for name in acceptors_in_ring_order:
+        if alive(name):
+            return name
+    raise CoordinationError("no live acceptor available for coordinator election")

@@ -1,0 +1,35 @@
+"""Multi-Ring Paxos: atomic multicast from coordinated Ring Paxos rings.
+
+This package is the paper's primary contribution (Section 4).  A deployment
+consists of one Ring Paxos ring per multicast group; learners subscribe to any
+subset of groups ("inverted" group addressing) and coordinate the rings with
+two techniques:
+
+* **deterministic merge** (:mod:`repro.multiring.merge`): learners deliver
+  messages from the rings they subscribe to in round-robin, ``M`` consensus
+  instances per ring, in group-identifier order -- this yields the acyclic
+  delivery order atomic multicast requires;
+* **rate leveling** (:mod:`repro.multiring.leveling`): coordinators of slow
+  rings periodically (every ``Δ``) propose *skip* instances so that all rings
+  progress at the maximum expected rate ``λ``, preventing replicas from being
+  throttled by their slowest subscribed ring.
+
+:class:`~repro.multiring.node.MultiRingNode` is the host process combining
+ring roles, the merge engine and rate-leveling timers;
+:class:`~repro.multiring.deployment.Deployment` wires whole topologies and is
+the entry point used by the services, examples and benchmarks.
+"""
+
+from repro.multiring.merge import DeterministicMerge, Delivery
+from repro.multiring.leveling import RateLeveler
+from repro.multiring.node import MultiRingNode
+from repro.multiring.deployment import Deployment, RingSpec
+
+__all__ = [
+    "DeterministicMerge",
+    "Delivery",
+    "RateLeveler",
+    "MultiRingNode",
+    "Deployment",
+    "RingSpec",
+]

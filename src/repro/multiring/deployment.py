@@ -1,0 +1,191 @@
+"""Deployment builder for Multi-Ring Paxos topologies.
+
+Experiments and services need to wire many rings across many nodes: each ring
+has an ordered member list, per-member roles, a storage mode and possibly its
+own disk (Figure 6 attaches one disk per ring).  :class:`Deployment` keeps
+that wiring declarative:
+
+* :meth:`Deployment.add_node` creates (or returns) a named
+  :class:`~repro.multiring.node.MultiRingNode`, optionally placed on a WAN
+  site;
+* :meth:`Deployment.add_ring` registers a ring in the coordination registry
+  and joins every member node to it;
+* :meth:`Deployment.multicast` submits values through a proposer of the
+  target group (round-robin over proposers, like a client choosing a
+  proposer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import MultiRingConfig, RingConfig
+from repro.coordination.registry import Registry, RingDescriptor
+from repro.errors import ConfigurationError, MulticastError
+from repro.multiring.node import MultiRingNode
+from repro.sim.cpu import CPUConfig
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.world import World
+from repro.types import GroupId, Value
+
+__all__ = ["RingSpec", "Deployment"]
+
+
+@dataclass
+class RingSpec:
+    """Declarative description of one ring (one multicast group)."""
+
+    group: GroupId
+    #: Ring members in ring order.  Every name must be (or become) a node.
+    members: List[str]
+    #: Acceptors; defaults to all members.
+    acceptors: Optional[List[str]] = None
+    #: Proposers; defaults to all members.
+    proposers: Optional[List[str]] = None
+    #: Learners; defaults to all members.
+    learners: Optional[List[str]] = None
+    #: Storage mode of this ring's acceptor logs.
+    storage_mode: StorageMode = StorageMode.MEMORY
+    #: Force a specific coordinator (defaults to the first acceptor in ring order).
+    coordinator: Optional[str] = None
+    #: If True, all acceptors of the ring share a single disk; otherwise each
+    #: acceptor gets its own device (the paper's Figure 6 uses one disk per
+    #: ring on every machine).
+    share_disk: bool = False
+
+    def resolved_acceptors(self) -> List[str]:
+        return list(self.acceptors) if self.acceptors is not None else list(self.members)
+
+    def resolved_proposers(self) -> List[str]:
+        return list(self.proposers) if self.proposers is not None else list(self.members)
+
+    def resolved_learners(self) -> List[str]:
+        return list(self.learners) if self.learners is not None else list(self.members)
+
+
+class Deployment:
+    """A set of Multi-Ring Paxos nodes and the rings connecting them."""
+
+    def __init__(
+        self,
+        world: World,
+        config: Optional[MultiRingConfig] = None,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        self.world = world
+        self.config = config or MultiRingConfig.datacenter()
+        self.registry = registry or Registry()
+        self.nodes: Dict[str, MultiRingNode] = {}
+        self.rings: Dict[GroupId, RingDescriptor] = {}
+        self.ring_specs: Dict[GroupId, RingSpec] = {}
+        self._proposer_rr: Dict[GroupId, "itertools.cycle"] = {}
+        self._ring_disks: Dict[GroupId, Dict[str, Disk]] = {}
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        site: Optional[str] = None,
+        cpu_config: Optional[CPUConfig] = None,
+    ) -> MultiRingNode:
+        """Create a node (idempotent: an existing node with that name is returned)."""
+        if name in self.nodes:
+            return self.nodes[name]
+        node = MultiRingNode(
+            self.world,
+            self.registry,
+            name,
+            config=self.config,
+            site=site,
+            cpu_config=cpu_config,
+        )
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> MultiRingNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # rings
+    # ------------------------------------------------------------------
+    def add_ring(
+        self,
+        spec: RingSpec,
+        sites: Optional[Dict[str, str]] = None,
+        ring_config: Optional[RingConfig] = None,
+    ) -> RingDescriptor:
+        """Register and wire the ring described by ``spec``.
+
+        Missing member nodes are created on the fly (placed on ``sites`` when
+        given).  Returns the ring descriptor.
+        """
+        if spec.group in self.rings:
+            raise ConfigurationError(f"ring {spec.group!r} already exists")
+        acceptors = spec.resolved_acceptors()
+        descriptor = self.registry.register_ring(
+            spec.group,
+            members_in_ring_order=spec.members,
+            proposers=spec.resolved_proposers(),
+            acceptors=acceptors,
+            learners=spec.resolved_learners(),
+            coordinator=spec.coordinator,
+        )
+        config = ring_config or self.config.ring.with_storage(spec.storage_mode)
+
+        shared_disk = disk_for_mode(self.world.sim, spec.storage_mode) if spec.share_disk else None
+        disks: Dict[str, Disk] = {}
+        for member in spec.members:
+            site = sites.get(member) if sites else None
+            node = self.add_node(member, site=site)
+            disk = None
+            if member in acceptors:
+                disk = shared_disk if spec.share_disk else disk_for_mode(self.world.sim, spec.storage_mode)
+                if disk is not None:
+                    disks[member] = disk
+            node.join_ring(spec.group, ring_config=config, disk=disk)
+        self.rings[spec.group] = descriptor
+        self.ring_specs[spec.group] = spec
+        self._ring_disks[spec.group] = disks
+        self._proposer_rr[spec.group] = itertools.cycle(spec.resolved_proposers())
+        return descriptor
+
+    def ring(self, group: GroupId) -> RingDescriptor:
+        try:
+            return self.rings[group]
+        except KeyError:
+            raise ConfigurationError(f"unknown ring {group!r}") from None
+
+    def groups(self) -> List[GroupId]:
+        return list(self.rings)
+
+    def ring_disk(self, group: GroupId, member: str) -> Optional[Disk]:
+        return self._ring_disks.get(group, {}).get(member)
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def multicast(self, group: GroupId, payload, size_bytes: int, via: Optional[str] = None) -> Value:
+        """Multicast through a proposer of ``group`` (round-robin unless ``via`` is given)."""
+        if group not in self.rings:
+            raise MulticastError(f"unknown group {group!r}")
+        proposer = via or next(self._proposer_rr[group])
+        return self.node(proposer).multicast(group, payload, size_bytes)
+
+    def learners_of(self, group: GroupId) -> List[MultiRingNode]:
+        return [self.node(name) for name in self.ring(group).learners]
+
+    def coordinator_of(self, group: GroupId) -> MultiRingNode:
+        return self.node(self.ring(group).coordinator)
+
+    def start(self) -> None:
+        self.world.start()
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.world.run(until=until)

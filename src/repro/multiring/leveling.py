@@ -1,0 +1,55 @@
+"""Rate leveling.
+
+Section 4: *"at regular Δ intervals, a coordinator compares the number of
+messages proposed in the interval with the maximum expected rate λ for the
+group and proposes enough skip instances to reach the maximum rate.  To skip
+an instance, the coordinator proposes null values in Phase 2A messages.  For
+performance, the coordinator can propose to skip several consensus instances
+in a single message."*
+
+Without rate leveling the deterministic merge forces every learner to advance
+at the pace of its *slowest* subscribed ring; the ablation benchmark
+(``benchmarks/test_ablation_rate_leveling.py``) demonstrates that collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.config import MultiRingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ringpaxos.role import RingRole
+
+__all__ = ["RateLeveler"]
+
+
+class RateLeveler:
+    """Per-coordinator rate-leveling policy for one ring."""
+
+    def __init__(self, role: "RingRole", config: MultiRingConfig) -> None:
+        self.role = role
+        self.config = config
+        self.intervals = 0
+        self.total_skips = 0
+
+    @property
+    def quota_per_interval(self) -> int:
+        """λ·Δ -- the number of instances each ring is expected to start per interval."""
+        return self.config.skip_quota_per_interval
+
+    def on_interval(self) -> int:
+        """Evaluate one Δ interval; returns the number of instances skipped."""
+        self.intervals += 1
+        proposed = self.role.reset_level_counter()
+        if not self.config.rate_leveling:
+            return 0
+        deficit = self.quota_per_interval - proposed
+        if deficit <= 0:
+            return 0
+        # One Phase 2 message covers the whole skip range (paper: "the
+        # coordinator can propose to skip several consensus instances in a
+        # single message").
+        self.role.propose_skip(deficit)
+        self.total_skips += deficit
+        return deficit

@@ -1,0 +1,209 @@
+"""Deterministic merge of per-ring decision streams.
+
+Section 4: *"Learners deliver messages from rings they subscribe to in
+round-robin, following the order given by the ring identifier.  More
+precisely, a learner delivers messages decided in M consensus instances from
+the first ring, then delivers messages decided in M consensus instances from
+the second ring, and so on."*
+
+:class:`DeterministicMerge` implements exactly that.  Decisions arrive per
+ring (possibly out of instance order during recovery); the merge buffers them
+and releases deliveries only in the globally deterministic order, so that any
+two learners subscribing to the same set of groups deliver the same sequence.
+Skip instances (rate leveling) are consumed by the merge but not delivered to
+the application.
+
+The merge also exposes the *delivery cursor* -- for every group, the next
+consensus instance to deliver -- which is precisely the checkpoint tuple
+``k_p`` used by the recovery protocol (Section 5.2, Predicate 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import MulticastError
+from repro.types import GroupId, InstanceId, Value
+
+__all__ = ["Delivery", "DeterministicMerge"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One application-visible delivery."""
+
+    group: GroupId
+    instance: InstanceId
+    value: Value
+
+
+class DeterministicMerge:
+    """Round-robin merge of decided instances from multiple rings."""
+
+    def __init__(
+        self,
+        groups: Sequence[GroupId],
+        m: int = 1,
+        deliver: Optional[Callable[[Delivery], None]] = None,
+    ) -> None:
+        if m < 1:
+            raise MulticastError("the merge granularity M must be at least 1")
+        #: Groups in delivery order (the paper orders them by ring identifier).
+        self._groups: List[GroupId] = sorted(dict.fromkeys(groups))
+        self.m = m
+        self._deliver = deliver
+        self._buffers: Dict[GroupId, Dict[InstanceId, Value]] = {g: {} for g in self._groups}
+        self._next_instance: Dict[GroupId, InstanceId] = {g: 0 for g in self._groups}
+        self._round_index = 0
+        self._delivered_in_round = 0
+        self.delivered_count = 0
+        self.skipped_count = 0
+        self.deliveries: List[Delivery] = []
+        #: When True, deliveries are appended to :attr:`deliveries` (useful in
+        #: tests); large experiments disable it to save memory.
+        self.keep_history = True
+        #: While paused, decisions are buffered but nothing is delivered.
+        #: Used during replica recovery: live decisions keep arriving while
+        #: the checkpoint is being installed and must not be applied early.
+        self.paused = False
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> List[GroupId]:
+        return list(self._groups)
+
+    def add_group(self, group: GroupId) -> None:
+        """Subscribe to an additional group (only before any delivery from it)."""
+        if group in self._groups:
+            return
+        self._groups = sorted(self._groups + [group])
+        self._buffers.setdefault(group, {})
+        self._next_instance.setdefault(group, 0)
+        # Restart the round-robin deterministically from the first group.
+        self._round_index = 0
+        self._delivered_in_round = 0
+
+    def set_deliver_callback(self, deliver: Callable[[Delivery], None]) -> None:
+        self._deliver = deliver
+
+    # ------------------------------------------------------------------
+    # input
+    # ------------------------------------------------------------------
+    def on_decision(self, group: GroupId, instance: InstanceId, value: Value) -> None:
+        """Feed one decided instance from ``group``; drains whatever became deliverable."""
+        if group not in self._buffers:
+            raise MulticastError(f"not subscribed to group {group!r}")
+        if instance < self._next_instance[group]:
+            return  # duplicate (e.g. redelivered during recovery)
+        self._buffers[group][instance] = value
+        self.advance()
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Suspend deliveries (decisions are still buffered)."""
+        self.paused = True
+
+    def resume(self) -> int:
+        """Resume deliveries and drain whatever became deliverable while paused."""
+        self.paused = False
+        return self.advance()
+
+    def advance(self) -> int:
+        """Deliver everything currently deliverable; return how many instances advanced."""
+        if not self._groups or self.paused:
+            return 0
+        advanced = 0
+        while True:
+            group = self._groups[self._round_index]
+            buffer = self._buffers[group]
+            instance = self._next_instance[group]
+            if instance not in buffer:
+                break  # the current ring is behind: wait (this is what rate leveling unblocks)
+            value = buffer.pop(instance)
+            self._next_instance[group] = instance + 1
+            advanced += 1
+            if value.is_skip:
+                self.skipped_count += 1
+            else:
+                self.delivered_count += 1
+                delivery = Delivery(group, instance, value)
+                if self.keep_history:
+                    self.deliveries.append(delivery)
+                if self._deliver is not None:
+                    self._deliver(delivery)
+            self._delivered_in_round += 1
+            if self._delivered_in_round >= self.m:
+                self._delivered_in_round = 0
+                self._round_index = (self._round_index + 1) % len(self._groups)
+        return advanced
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+    def delivery_cursor(self) -> Dict[GroupId, InstanceId]:
+        """For each group, the next instance that will be delivered.
+
+        A checkpoint taken now is identified by this tuple: it reflects the
+        effect of every instance strictly below the cursor, per group.
+        """
+        return dict(self._next_instance)
+
+    def next_instance(self, group: GroupId) -> InstanceId:
+        return self._next_instance[group]
+
+    def fast_forward(self, cursor: Dict[GroupId, InstanceId]) -> None:
+        """Skip directly to ``cursor`` (used after installing a checkpoint).
+
+        Buffered decisions below the new cursor are discarded.  The round-robin
+        pointer is recomputed from the cursor so that the post-recovery
+        delivery order is exactly the one a replica that never crashed would
+        follow (Predicate 1 guarantees the cursor is a valid merge prefix:
+        ``x < y  =>  k[x] >= k[y]``).
+        """
+        for group, instance in cursor.items():
+            if group not in self._buffers:
+                raise MulticastError(f"not subscribed to group {group!r}")
+            if instance < self._next_instance[group]:
+                raise MulticastError(
+                    f"cannot fast-forward group {group!r} backwards "
+                    f"({self._next_instance[group]} -> {instance})"
+                )
+            self._next_instance[group] = instance
+            self._buffers[group] = {
+                i: v for i, v in self._buffers[group].items() if i >= instance
+            }
+        self._recompute_round_position()
+        self.advance()
+
+    def _recompute_round_position(self) -> None:
+        """Derive ``(_round_index, _delivered_in_round)`` from the per-group cursor.
+
+        The merge delivers M instances from group 0, then M from group 1, and
+        so on; therefore any reachable cursor has the shape "a prefix of groups
+        finished round r, one group is partway through it, the rest have not
+        started it".  The current round is ``min(cursor) // M`` and the active
+        group is the first one that has not finished that round.
+        """
+        if not self._groups:
+            self._round_index = 0
+            self._delivered_in_round = 0
+            return
+        round_number = min(self._next_instance[g] for g in self._groups) // self.m
+        for index, group in enumerate(self._groups):
+            if self._next_instance[group] < (round_number + 1) * self.m:
+                self._round_index = index
+                self._delivered_in_round = self._next_instance[group] - round_number * self.m
+                return
+        # Every group finished round ``round_number`` (only possible when the
+        # cursor is exactly at a round boundary): start the next round.
+        self._round_index = 0
+        self._delivered_in_round = 0
+
+    def pending(self, group: GroupId) -> int:
+        """Number of buffered (decided but not yet deliverable) instances for ``group``."""
+        return len(self._buffers[group])

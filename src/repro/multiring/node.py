@@ -1,0 +1,170 @@
+"""The Multi-Ring Paxos node.
+
+A :class:`MultiRingNode` is a :class:`~repro.ringpaxos.node.RingHost` that
+additionally
+
+* subscribes to multicast groups as a learner and merges their decision
+  streams deterministically (:class:`~repro.multiring.merge.DeterministicMerge`),
+* runs the rate-leveling policy for every ring it coordinates, and
+* exposes the atomic multicast API of the paper: ``multicast(group, message)``
+  on the sending side and a delivery callback on the receiving side.
+
+In a typical deployment (Section 5.1) clients act as proposers and replicas
+as learners; :mod:`repro.smr` builds the replication layer on top of the
+delivery callback provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import MultiRingConfig, RingConfig
+from repro.coordination.registry import Registry
+from repro.errors import MulticastError
+from repro.multiring.leveling import RateLeveler
+from repro.multiring.merge import Delivery, DeterministicMerge
+from repro.ringpaxos.node import RingHost
+from repro.ringpaxos.role import RingRole
+from repro.sim.cpu import CPUConfig
+from repro.sim.disk import Disk
+from repro.sim.world import World
+from repro.types import GroupId, InstanceId, Value
+
+__all__ = ["MultiRingNode"]
+
+DeliveryCallback = Callable[[Delivery], None]
+
+
+class MultiRingNode(RingHost):
+    """A process participating in Multi-Ring Paxos."""
+
+    def __init__(
+        self,
+        world: World,
+        registry: Registry,
+        name: str,
+        config: Optional[MultiRingConfig] = None,
+        site: Optional[str] = None,
+        cpu_config: Optional[CPUConfig] = None,
+    ) -> None:
+        super().__init__(world, registry, name, site=site, cpu_config=cpu_config)
+        self.config = config or MultiRingConfig.datacenter()
+        self.merge = DeterministicMerge(groups=[], m=self.config.m, deliver=self._on_merged_delivery)
+        self.merge.keep_history = False
+        self._delivery_callbacks: List[DeliveryCallback] = []
+        self._levelers: Dict[GroupId, RateLeveler] = {}
+        self._subscribed: List[GroupId] = []
+        self.add_decision_sink(self._on_ring_decision)
+        self.deliveries_count = 0
+        #: Set by the recovery manager: hold deliveries after a restart until
+        #: a checkpoint has been installed.  Nodes without a recovery manager
+        #: simply resume delivering from instance 0.
+        self.pause_on_recover = False
+
+    # ------------------------------------------------------------------
+    # ring membership and subscriptions
+    # ------------------------------------------------------------------
+    def join_ring(
+        self,
+        group: GroupId,
+        ring_config: Optional[RingConfig] = None,
+        disk: Optional[Disk] = None,
+    ) -> RingRole:
+        role = super().join_ring(group, ring_config or self.config.ring, disk=disk)
+        if role.is_coordinator:
+            self._levelers[group] = RateLeveler(role, self.config)
+        if role.is_learner:
+            self._subscribe_group(group)
+        return role
+
+    def _subscribe_group(self, group: GroupId) -> None:
+        if group in self._subscribed:
+            return
+        self._subscribed.append(group)
+        self.merge.add_group(group)
+        self.registry.subscribe(self.name, [group])
+
+    @property
+    def subscriptions(self) -> List[GroupId]:
+        """Groups this node delivers from, in group-identifier order."""
+        return sorted(self._subscribed)
+
+    # ------------------------------------------------------------------
+    # multicast API
+    # ------------------------------------------------------------------
+    def multicast(self, group: GroupId, payload, size_bytes: int) -> Value:
+        """Atomically multicast ``payload`` to ``group`` (the paper's ``multicast(γ, m)``)."""
+        if group not in self.roles:
+            raise MulticastError(
+                f"{self.name} cannot multicast to {group!r}: it is not a proposer of that ring"
+            )
+        return self.propose(group, payload, size_bytes)
+
+    def on_deliver(self, callback: DeliveryCallback) -> None:
+        """Register the application-level delivery callback (``deliver(m)``)."""
+        self._delivery_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _on_ring_decision(self, group: GroupId, instance: InstanceId, value: Value) -> None:
+        if group in self.merge.groups:
+            self.merge.on_decision(group, instance, value)
+
+    def _on_merged_delivery(self, delivery: Delivery) -> None:
+        self.deliveries_count += 1
+        for callback in self._delivery_callbacks:
+            callback(delivery)
+
+    # ------------------------------------------------------------------
+    # rate leveling
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        super().on_start()
+        for group, leveler in self._levelers.items():
+            self.set_periodic_timer(self.config.delta, leveler.on_interval)
+
+    def leveler(self, group: GroupId) -> Optional[RateLeveler]:
+        return self._levelers.get(group)
+
+    def skip_statistics(self) -> Dict[GroupId, int]:
+        """Total skip instances proposed per coordinated ring."""
+        return {group: leveler.total_skips for group, leveler in self._levelers.items()}
+
+    # ------------------------------------------------------------------
+    # recovery hooks used by :mod:`repro.recovery`
+    # ------------------------------------------------------------------
+    def delivery_cursor(self) -> Dict[GroupId, InstanceId]:
+        """The per-group next-instance tuple identifying the node's current state."""
+        return self.merge.delivery_cursor()
+
+    def fast_forward(self, cursor: Dict[GroupId, InstanceId]) -> None:
+        """Jump the merge (and the ring roles' learner bookkeeping) to ``cursor``."""
+        self.merge.fast_forward(cursor)
+        for group, next_instance in cursor.items():
+            role = self.roles.get(group)
+            if role is None:
+                continue
+            for instance in range(max(0, role.highest_learned + 1), next_instance):
+                role.inject_learned(instance)
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        # Everything the learner holds in memory is gone: the merge buffers,
+        # its cursor, and the roles' learned-instance bookkeeping.  Stable
+        # acceptor logs (handled in RingRole.on_host_crash) survive.
+        self.merge = DeterministicMerge(
+            groups=self.subscriptions, m=self.config.m, deliver=self._on_merged_delivery
+        )
+        self.merge.keep_history = False
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        # Hold back deliveries until the recovery manager has installed a
+        # checkpoint and fast-forwarded the merge; live decisions arriving in
+        # the meantime are buffered.
+        if self.pause_on_recover:
+            self.merge.pause()
+        # Timers for rate leveling must be re-armed because crash() cancelled them.
+        for group, leveler in self._levelers.items():
+            self.set_periodic_timer(self.config.delta, leveler.on_interval)

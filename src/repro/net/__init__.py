@@ -1,0 +1,14 @@
+"""Messaging helpers built on top of the simulated network.
+
+The paper's implementation uses TCP connections arranged in a unidirectional
+ring overlay per Ring Paxos instance.  This package provides:
+
+* :mod:`repro.net.message` -- the base envelope for protocol messages with a
+  wire-size estimate used by the timing model,
+* :mod:`repro.net.ring` -- the ring overlay (successor lookup, membership).
+"""
+
+from repro.net.message import ProtocolMessage, estimate_size
+from repro.net.ring import RingOverlay
+
+__all__ = ["ProtocolMessage", "estimate_size", "RingOverlay"]

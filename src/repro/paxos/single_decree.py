@@ -1,0 +1,258 @@
+"""Classic single-decree Paxos over the simulated network.
+
+Ring Paxos optimizes the communication pattern of Paxos but not its decision
+rule; this module implements the textbook message-passing protocol (Phase 1A/
+1B/2A/2B, majority quorums) as plain :class:`~repro.sim.process.Process`
+actors.  It serves three purposes:
+
+* executable documentation of the consensus core the ring protocol relies on,
+* a safety oracle for the property-based tests (agreement and validity must
+  hold under any message interleaving the simulator produces), and
+* the mechanism a newly elected Ring Paxos coordinator uses to re-learn the
+  outcome of instances that were in flight when its predecessor crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import ConsensusError
+from repro.net.message import ProtocolMessage
+from repro.paxos.types import Ballot, InstanceRecord
+from repro.sim.process import Process
+from repro.sim.world import World
+from repro.types import Value
+
+__all__ = [
+    "Phase1A",
+    "Phase1B",
+    "Phase2A",
+    "Phase2B",
+    "PaxosAcceptor",
+    "PaxosProposer",
+    "PaxosLearner",
+    "run_single_decree",
+]
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Phase1A(ProtocolMessage):
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class Phase1B(ProtocolMessage):
+    ballot: Ballot
+    accepted_ballot: Optional[Ballot]
+    accepted_value: Optional[Value]
+
+
+@dataclass(frozen=True)
+class Phase2A(ProtocolMessage):
+    ballot: Ballot
+    value: Value
+
+
+@dataclass(frozen=True)
+class Phase2B(ProtocolMessage):
+    ballot: Ballot
+    value: Value
+
+
+@dataclass(frozen=True)
+class Decided(ProtocolMessage):
+    """Relayed by the proposer once it has observed a quorum of Phase 2B votes."""
+
+    ballot: Ballot
+    value: Value
+
+
+# ----------------------------------------------------------------------
+# roles
+# ----------------------------------------------------------------------
+class PaxosAcceptor(Process):
+    """A single-decree Paxos acceptor."""
+
+    def __init__(self, world: World, name: str, site: Optional[str] = None) -> None:
+        super().__init__(world, name, site)
+        self.state = InstanceRecord(instance=0)
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Phase1A):
+            self._on_phase1a(sender, payload)
+        elif isinstance(payload, Phase2A):
+            self._on_phase2a(sender, payload)
+
+    def _on_phase1a(self, sender: str, msg: Phase1A) -> None:
+        if self.state.can_promise(msg.ballot):
+            self.state.promise(msg.ballot)
+            self.send(
+                sender,
+                Phase1B(
+                    ballot=msg.ballot,
+                    accepted_ballot=self.state.accepted_ballot,
+                    accepted_value=self.state.accepted_value,
+                ),
+            )
+        # A rejected Phase 1A is simply ignored; the proposer times out and
+        # retries with a higher ballot.
+
+    def _on_phase2a(self, sender: str, msg: Phase2A) -> None:
+        if self.state.can_accept(msg.ballot):
+            self.state.accept(msg.ballot, msg.value)
+            self.send(sender, Phase2B(ballot=msg.ballot, value=msg.value))
+
+
+class PaxosLearner(Process):
+    """Learns the decided value from a quorum of matching Phase 2B votes."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        acceptor_count: int,
+        site: Optional[str] = None,
+        on_decide: Optional[Callable[[Value], None]] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self.quorum = acceptor_count // 2 + 1
+        self.decided_value: Optional[Value] = None
+        self._votes: Dict[Ballot, Set[str]] = {}
+        self._vote_value: Dict[Ballot, Value] = {}
+        self._on_decide = on_decide
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Decided):
+            self._decide(payload.value)
+            return
+        if not isinstance(payload, Phase2B):
+            return
+        voters = self._votes.setdefault(payload.ballot, set())
+        voters.add(sender)
+        self._vote_value[payload.ballot] = payload.value
+        if len(voters) >= self.quorum:
+            self._decide(self._vote_value[payload.ballot])
+
+    def _decide(self, value: Value) -> None:
+        if self.decided_value is not None:
+            return
+        self.decided_value = value
+        if self._on_decide is not None:
+            self._on_decide(value)
+
+
+class PaxosProposer(Process):
+    """A proposer that keeps retrying with higher ballots until a decision is known."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        acceptors: Sequence[str],
+        learners: Sequence[str],
+        value: Value,
+        site: Optional[str] = None,
+        retry_timeout: float = 0.05,
+        initial_ballot_number: int = 1,
+    ) -> None:
+        super().__init__(world, name, site)
+        if not acceptors:
+            raise ConsensusError("a proposer needs at least one acceptor")
+        self.acceptors = list(acceptors)
+        self.learners = list(learners)
+        self.quorum = len(self.acceptors) // 2 + 1
+        self.value = value
+        self.retry_timeout = retry_timeout
+        self.ballot = Ballot(initial_ballot_number, name)
+        self._promises: Dict[str, Phase1B] = {}
+        self._phase2_sent = False
+        self._accepts: Set[str] = set()
+        self.chosen: Optional[Value] = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._start_round()
+
+    def _start_round(self) -> None:
+        self._promises.clear()
+        self._accepts.clear()
+        self._phase2_sent = False
+        for acceptor in self.acceptors:
+            self.send(acceptor, Phase1A(ballot=self.ballot))
+        self.set_timer(self.retry_timeout, self._maybe_retry)
+
+    def _maybe_retry(self) -> None:
+        if self.chosen is None and self.alive:
+            self.ballot = self.ballot.next(self.name)
+            self._start_round()
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Phase1B):
+            self._on_phase1b(sender, payload)
+        elif isinstance(payload, Phase2B):
+            self._on_phase2b(sender, payload)
+
+    def _on_phase1b(self, sender: str, msg: Phase1B) -> None:
+        if msg.ballot != self.ballot or self._phase2_sent:
+            return
+        self._promises[sender] = msg
+        if len(self._promises) < self.quorum:
+            return
+        # Classic Paxos rule: adopt the value accepted at the highest ballot,
+        # if any promise reports one; otherwise propose our own value.
+        best: Optional[Phase1B] = None
+        for promise in self._promises.values():
+            if promise.accepted_ballot is None:
+                continue
+            if best is None or promise.accepted_ballot > best.accepted_ballot:
+                best = promise
+        proposal = best.accepted_value if best is not None else self.value
+        self._phase2_sent = True
+        for acceptor in self.acceptors:
+            self.send(acceptor, Phase2A(ballot=self.ballot, value=proposal))
+
+    def _on_phase2b(self, sender: str, msg: Phase2B) -> None:
+        if msg.ballot != self.ballot:
+            return
+        self._accepts.add(sender)
+        if len(self._accepts) >= self.quorum and self.chosen is None:
+            self.chosen = msg.value
+            for learner in self.learners:
+                # Acceptors send Phase 2B to the proposer only in this compact
+                # variant; the proposer relays the quorum outcome to learners.
+                self.send(learner, Decided(ballot=msg.ballot, value=msg.value))
+
+
+def run_single_decree(
+    world: World,
+    proposer_values: Dict[str, Value],
+    acceptor_names: Sequence[str],
+    learner_names: Sequence[str],
+    duration: float = 5.0,
+) -> Dict[str, Optional[Value]]:
+    """Build a single-decree Paxos deployment, run it, and return learner outcomes.
+
+    ``proposer_values`` maps proposer names to the value each one proposes;
+    concurrent proposers are allowed (that is the interesting case).
+    """
+    acceptors = [PaxosAcceptor(world, name) for name in acceptor_names]
+    learners = [PaxosLearner(world, name, acceptor_count=len(acceptors)) for name in learner_names]
+    for index, (name, value) in enumerate(sorted(proposer_values.items())):
+        PaxosProposer(
+            world,
+            name,
+            acceptors=acceptor_names,
+            learners=learner_names,
+            value=value,
+            initial_ballot_number=index + 1,
+            # Distinct retry timeouts avoid the classic dueling-proposers
+            # livelock in the deterministic simulator.
+            retry_timeout=0.05 * (1.0 + 0.17 * index),
+        )
+    world.run(until=duration)
+    return {learner.name: learner.decided_value for learner in learners}

@@ -1,0 +1,213 @@
+"""The acceptor's stable log.
+
+Section 5.1: *"before responding to a coordinator's request with a Phase 1B
+or Phase 2B message, an acceptor must log its response onto stable storage"*,
+and the log can later be trimmed once replicas have checkpointed state that
+covers the corresponding instances.
+
+The paper's implementation keeps pre-allocated in-memory buffers (15000 slots
+of 32 KB) and uses Berkeley DB for disk persistence, with synchronous or
+asynchronous writes.  :class:`AcceptorStorage` models exactly that surface:
+
+* it records promises and votes per instance,
+* persisting a record takes time according to the configured
+  :class:`~repro.sim.disk.StorageMode` (nothing for in-memory, a write-back
+  write for asynchronous modes, a forced write for synchronous modes),
+* it serves retransmission requests for recovering replicas, and
+* it can be trimmed up to an instance; reading a trimmed instance raises
+  :class:`~repro.errors.StorageError`, which is what forces a recovering
+  replica to fall back to a remote checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.paxos.types import Ballot, InstanceRecord
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.engine import Simulator
+from repro.types import InstanceId, Value
+
+__all__ = ["AcceptorStorage"]
+
+#: Bytes of metadata persisted alongside each vote (instance id, ballot, CRC).
+_RECORD_OVERHEAD_BYTES = 64
+
+
+class AcceptorStorage:
+    """Per-ring stable storage of one acceptor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mode: StorageMode = StorageMode.MEMORY,
+        disk: Optional[Disk] = None,
+    ) -> None:
+        self.sim = sim
+        self.mode = mode
+        if disk is None and mode is not StorageMode.MEMORY:
+            disk = disk_for_mode(sim, mode)
+        self.disk = disk
+        self._records: Dict[InstanceId, InstanceRecord] = {}
+        self._trimmed_up_to: Optional[InstanceId] = None
+        self._highest_instance: Optional[InstanceId] = None
+        self.bytes_logged = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def trimmed_up_to(self) -> Optional[InstanceId]:
+        """Highest instance removed by trimming, or ``None`` if never trimmed."""
+        return self._trimmed_up_to
+
+    @property
+    def highest_instance(self) -> Optional[InstanceId]:
+        """Highest instance ever recorded, or ``None`` if the log is empty."""
+        return self._highest_instance
+
+    def record(self, instance: InstanceId) -> InstanceRecord:
+        """The (mutable) record for ``instance``, creating it if absent."""
+        if self._trimmed_up_to is not None and instance <= self._trimmed_up_to:
+            raise StorageError(f"instance {instance} has been trimmed")
+        if instance not in self._records:
+            self._records[instance] = InstanceRecord(instance)
+        return self._records[instance]
+
+    def has_instance(self, instance: InstanceId) -> bool:
+        return instance in self._records
+
+    def is_trimmed(self, instance: InstanceId) -> bool:
+        return self._trimmed_up_to is not None and instance <= self._trimmed_up_to
+
+    def instances(self) -> List[InstanceId]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _persist(self, nbytes: int, callback: Optional[Callable[[], None]]) -> float:
+        """Persist ``nbytes`` according to the storage mode; return the ack time."""
+        self.writes += 1
+        self.bytes_logged += nbytes
+        if self.mode is StorageMode.MEMORY or self.disk is None:
+            done = self.sim.now
+            if callback is not None:
+                self.sim.schedule_at(done, callback)
+            return done
+        if self.mode.synchronous:
+            return self.disk.write(nbytes, callback)
+        return self.disk.write_async(nbytes, callback)
+
+    def log_promise(
+        self,
+        instance: InstanceId,
+        ballot: Ballot,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Record a Phase 1 promise and persist it.  Returns the ack time."""
+        record = self.record(instance)
+        record.promise(ballot)
+        return self._persist(_RECORD_OVERHEAD_BYTES, callback)
+
+    def log_vote(
+        self,
+        instance: InstanceId,
+        ballot: Ballot,
+        value: Value,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Record a Phase 2 vote (accept) and persist it.  Returns the ack time."""
+        record = self.record(instance)
+        record.accept(ballot, value)
+        if self._highest_instance is None or instance > self._highest_instance:
+            self._highest_instance = instance
+        nbytes = _RECORD_OVERHEAD_BYTES + value.size_bytes
+        return self._persist(nbytes, callback)
+
+    def log_votes_range(
+        self,
+        first: InstanceId,
+        count: int,
+        ballot: Ballot,
+        value: Value,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Record votes for ``count`` consecutive instances with one persisted write.
+
+        Used for skip ranges: the coordinator skips several consensus
+        instances with a single message, and the acceptors likewise persist
+        the whole range as one log record.
+        """
+        if count < 1:
+            raise StorageError("a vote range must cover at least one instance")
+        last_ack = self.sim.now
+        for offset in range(count):
+            instance = first + offset
+            record = self.record(instance)
+            record.accept(ballot, value)
+            if self._highest_instance is None or instance > self._highest_instance:
+                self._highest_instance = instance
+        nbytes = _RECORD_OVERHEAD_BYTES + value.size_bytes
+        return self._persist(nbytes, callback) if count > 0 else last_ack
+
+    def mark_decided(self, instance: InstanceId) -> None:
+        """Mark an instance as decided (used when the decision passes by)."""
+        if self.is_trimmed(instance):
+            return
+        if instance in self._records:
+            self._records[instance].mark_decided()
+
+    # ------------------------------------------------------------------
+    # retransmission and trimming
+    # ------------------------------------------------------------------
+    def accepted_value(self, instance: InstanceId) -> Optional[Value]:
+        """The value this acceptor voted for in ``instance``, if any."""
+        if self.is_trimmed(instance):
+            raise StorageError(f"instance {instance} has been trimmed")
+        record = self._records.get(instance)
+        return record.accepted_value if record is not None else None
+
+    def read_range(self, first: InstanceId, last: InstanceId) -> List[Tuple[InstanceId, Value]]:
+        """Accepted values for instances in ``[first, last]`` (for retransmission).
+
+        Raises :class:`StorageError` if any requested instance has been
+        trimmed -- the recovering replica must then fetch a newer checkpoint.
+        """
+        if first > last:
+            return []
+        if self._trimmed_up_to is not None and first <= self._trimmed_up_to:
+            raise StorageError(
+                f"instances up to {self._trimmed_up_to} have been trimmed, requested from {first}"
+            )
+        result: List[Tuple[InstanceId, Value]] = []
+        for instance in sorted(self._records):
+            if instance < first or instance > last:
+                continue
+            record = self._records[instance]
+            if record.accepted_value is not None:
+                result.append((instance, record.accepted_value))
+        return result
+
+    def trim(self, up_to: InstanceId) -> int:
+        """Delete all records for instances ``<= up_to``.  Returns how many were removed."""
+        removed = 0
+        for instance in [i for i in self._records if i <= up_to]:
+            del self._records[instance]
+            removed += 1
+        if self._trimmed_up_to is None or up_to > self._trimmed_up_to:
+            self._trimmed_up_to = up_to
+        return removed
+
+    def log_size_bytes(self) -> int:
+        """Approximate size of the live (untrimmed) log."""
+        return sum(
+            _RECORD_OVERHEAD_BYTES
+            + (record.accepted_value.size_bytes if record.accepted_value is not None else 0)
+            for record in self._records.values()
+        )

@@ -1,0 +1,77 @@
+"""Ballots and per-instance acceptor state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import total_ordering
+from typing import Optional
+
+from repro.types import InstanceId, Value
+
+__all__ = ["Ballot", "InstanceRecord"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ballot:
+    """A Paxos ballot (round) number.
+
+    Ballots are totally ordered first by ``number`` and then by the proposing
+    coordinator's name, which guarantees that two coordinators never use the
+    same ballot.
+    """
+
+    number: int
+    coordinator: str = ""
+
+    def __lt__(self, other: "Ballot") -> bool:
+        return (self.number, self.coordinator) < (other.number, other.coordinator)
+
+    def next(self, coordinator: Optional[str] = None) -> "Ballot":
+        """The next higher ballot, owned by ``coordinator`` (default: same owner)."""
+        return Ballot(self.number + 1, coordinator if coordinator is not None else self.coordinator)
+
+    @classmethod
+    def zero(cls) -> "Ballot":
+        """The initial ballot, smaller than any ballot a coordinator uses."""
+        return cls(0, "")
+
+
+@dataclass
+class InstanceRecord:
+    """What an acceptor remembers about one consensus instance.
+
+    ``promised`` is the highest ballot the acceptor promised not to undercut
+    (Phase 1); ``accepted_ballot``/``accepted_value`` reflect its most recent
+    Phase 2 vote; ``decided`` is set once a quorum is known to have voted for
+    the value (the learner/decision path).
+    """
+
+    instance: InstanceId
+    promised: Ballot = field(default_factory=Ballot.zero)
+    accepted_ballot: Optional[Ballot] = None
+    accepted_value: Optional[Value] = None
+    decided: bool = False
+
+    def can_promise(self, ballot: Ballot) -> bool:
+        """Phase 1: may the acceptor promise ``ballot``?"""
+        return ballot > self.promised
+
+    def can_accept(self, ballot: Ballot) -> bool:
+        """Phase 2: may the acceptor vote for a proposal with ``ballot``?"""
+        return ballot >= self.promised
+
+    def promise(self, ballot: Ballot) -> None:
+        if not self.can_promise(ballot):
+            raise ValueError(f"cannot promise {ballot} after promising {self.promised}")
+        self.promised = ballot
+
+    def accept(self, ballot: Ballot, value: Value) -> None:
+        if not self.can_accept(ballot):
+            raise ValueError(f"cannot accept {ballot} after promising {self.promised}")
+        self.promised = ballot
+        self.accepted_ballot = ballot
+        self.accepted_value = value
+
+    def mark_decided(self) -> None:
+        self.decided = True

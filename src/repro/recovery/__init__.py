@@ -1,0 +1,49 @@
+"""Recovery: checkpointing, log trimming and replica recovery (Section 5).
+
+Recovery in Multi-Ring Paxos must handle the fact that replicas subscribing
+to different sets of multicast groups evolve through *different* sequences of
+states, so a recovering replica may only install checkpoints from replicas of
+its own partition (the set of replicas with the same subscription set).  The
+protocol has three cooperating pieces:
+
+* :mod:`repro.recovery.checkpoint` -- checkpoints identified by a per-group
+  tuple of consensus instances ``k_p`` (Predicate 1) and the disk-backed
+  store each replica keeps them in;
+* :mod:`repro.recovery.trimming` -- the coordinator-driven protocol that
+  collects safe instances from a trim quorum ``Q_T`` and tells acceptors how
+  far they may trim their logs (Predicate 2);
+* :mod:`repro.recovery.replica_recovery` -- the recovering replica's side:
+  pick the most recent checkpoint available in a recovery quorum ``Q_R``
+  (Predicate 3), install it, and replay the remaining instances from the
+  acceptors, which is always possible because ``Q_T`` and ``Q_R`` intersect
+  (Predicates 4 and 5).
+"""
+
+from repro.recovery.checkpoint import Checkpoint, CheckpointStore, cursor_leq, cursor_max
+from repro.recovery.messages import (
+    CheckpointData,
+    CheckpointFetch,
+    CheckpointInfo,
+    CheckpointQuery,
+    TrimCommand,
+    TrimQuery,
+    TrimReply,
+)
+from repro.recovery.trimming import TrimProtocol
+from repro.recovery.replica_recovery import ReplicaRecovery
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "cursor_leq",
+    "cursor_max",
+    "CheckpointQuery",
+    "CheckpointInfo",
+    "CheckpointFetch",
+    "CheckpointData",
+    "TrimQuery",
+    "TrimReply",
+    "TrimCommand",
+    "TrimProtocol",
+    "ReplicaRecovery",
+]

@@ -1,0 +1,160 @@
+"""Checkpoints and the per-replica checkpoint store.
+
+A checkpoint is identified by a tuple ``k_p`` with one consensus-instance
+entry per multicast group the replica subscribes to; it reflects the effect of
+every command decided in instances strictly below ``k_p[x]`` for each group
+``x`` (the library uses "next instance to deliver" cursors, which is the same
+information off by one and composes directly with the deterministic merge).
+
+Because replicas deliver groups round-robin in group-identifier order,
+Predicate 1 of the paper holds for every checkpoint: ``x < y  =>
+k[x]_p >= k[y]_p``, and checkpoints of replicas in the same partition are
+totally ordered -- which is what :func:`cursor_leq` / :func:`cursor_max`
+implement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import RecoveryError
+from repro.sim.disk import Disk
+from repro.sim.engine import Simulator
+from repro.types import GroupId, InstanceId
+
+__all__ = ["Checkpoint", "CheckpointStore", "cursor_leq", "cursor_max", "cursor_is_monotonic"]
+
+_checkpoint_ids = itertools.count(1)
+
+
+def cursor_leq(a: Dict[GroupId, InstanceId], b: Dict[GroupId, InstanceId]) -> bool:
+    """Component-wise ``a <= b`` over the union of groups (missing entries count as 0)."""
+    groups = set(a) | set(b)
+    return all(a.get(g, 0) <= b.get(g, 0) for g in groups)
+
+
+def cursor_max(cursors: List[Dict[GroupId, InstanceId]]) -> Dict[GroupId, InstanceId]:
+    """The most up-to-date cursor of a totally ordered set (Predicate 3's ``K_R``).
+
+    Within one partition checkpoints are totally ordered, so the maximum under
+    :func:`cursor_leq` exists; to stay robust against malformed inputs the
+    component-wise maximum is returned, which coincides with it in that case.
+    """
+    if not cursors:
+        raise RecoveryError("cannot take the maximum of an empty set of checkpoints")
+    groups = set()
+    for cursor in cursors:
+        groups |= set(cursor)
+    return {g: max(cursor.get(g, 0) for cursor in cursors) for g in sorted(groups)}
+
+
+def cursor_is_monotonic(cursor: Dict[GroupId, InstanceId], m: int = 1) -> bool:
+    """Check Predicate 1: groups in identifier order have non-increasing instances.
+
+    With merge granularity ``M`` the entries of a valid cursor can differ by at
+    most ``M`` between consecutive groups; this relaxed form is what the
+    property-based tests assert.
+    """
+    ordered = sorted(cursor)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if cursor[earlier] + m <= cursor[later]:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One durable replica checkpoint."""
+
+    checkpoint_id: int
+    replica: str
+    #: Per-group next-instance-to-deliver at the time the checkpoint was taken.
+    cursor: Dict[GroupId, InstanceId]
+    #: Opaque application snapshot (the MRP-Store tree, the dLog cache, ...).
+    state: Any
+    #: Size of the serialized snapshot, used for disk and state-transfer timing.
+    state_size_bytes: int
+    taken_at: float
+
+    @classmethod
+    def create(
+        cls,
+        replica: str,
+        cursor: Dict[GroupId, InstanceId],
+        state: Any,
+        state_size_bytes: int,
+        taken_at: float,
+    ) -> "Checkpoint":
+        return cls(
+            checkpoint_id=next(_checkpoint_ids),
+            replica=replica,
+            cursor=dict(cursor),
+            state=state,
+            state_size_bytes=max(0, int(state_size_bytes)),
+            taken_at=taken_at,
+        )
+
+
+class CheckpointStore:
+    """The replica's stable checkpoint storage.
+
+    Only the latest durable checkpoint matters for recovery; older ones are
+    garbage-collected.  Writing a checkpoint occupies the replica's disk
+    (synchronously or asynchronously depending on the service configuration),
+    which is how checkpointing pressure shows up in Figure 8.
+    """
+
+    def __init__(self, sim: Simulator, disk: Optional[Disk] = None, synchronous: bool = True) -> None:
+        self.sim = sim
+        self.disk = disk
+        self.synchronous = synchronous
+        self._latest: Optional[Checkpoint] = None
+        self._durable: Optional[Checkpoint] = None
+        self.checkpoints_written = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent checkpoint written (possibly not yet durable)."""
+        return self._latest
+
+    @property
+    def latest_durable(self) -> Optional[Checkpoint]:
+        """The most recent checkpoint known to be on stable storage."""
+        return self._durable
+
+    def write(self, checkpoint: Checkpoint, on_durable=None) -> float:
+        """Persist ``checkpoint``; returns the time at which it becomes durable."""
+        if self._latest is not None and not cursor_leq(self._latest.cursor, checkpoint.cursor):
+            raise RecoveryError("checkpoints must be written in monotonically increasing order")
+        self._latest = checkpoint
+        self.checkpoints_written += 1
+        self.bytes_written += checkpoint.state_size_bytes
+
+        def mark_durable() -> None:
+            if self._durable is None or cursor_leq(self._durable.cursor, checkpoint.cursor):
+                self._durable = checkpoint
+            if on_durable is not None:
+                on_durable(checkpoint)
+
+        if self.disk is None:
+            mark_durable()
+            return self.sim.now
+        if self.synchronous:
+            return self.disk.write(checkpoint.state_size_bytes, mark_durable)
+        return self.disk.write_async(checkpoint.state_size_bytes, mark_durable)
+
+    def safe_instance(self, group: GroupId) -> InstanceId:
+        """The instance below which this replica no longer needs retransmissions.
+
+        This is ``k[x]_p`` in the paper's trim protocol: everything below the
+        latest *durable* checkpoint's cursor is reflected in stable state.
+        Replicas that have not checkpointed yet return 0 so that acceptors
+        keep their full log.
+        """
+        if self._durable is None:
+            return 0
+        return self._durable.cursor.get(group, 0)

@@ -1,0 +1,86 @@
+"""Messages of the recovery protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.message import ProtocolMessage
+from repro.types import GroupId, InstanceId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.recovery.checkpoint import Checkpoint
+
+__all__ = [
+    "CheckpointQuery",
+    "CheckpointInfo",
+    "CheckpointFetch",
+    "CheckpointData",
+    "TrimQuery",
+    "TrimReply",
+    "TrimCommand",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointQuery(ProtocolMessage):
+    """A recovering replica asks a partition peer for its latest checkpoint id."""
+
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class CheckpointInfo(ProtocolMessage):
+    """Reply to :class:`CheckpointQuery`: the peer's latest durable checkpoint tuple."""
+
+    cursor: Dict[GroupId, InstanceId]
+    checkpoint_id: int
+    state_size_bytes: int
+
+
+@dataclass(frozen=True)
+class CheckpointFetch(ProtocolMessage):
+    """The recovering replica downloads a remote checkpoint from a peer."""
+
+    reply_to: str
+    checkpoint_id: int
+
+
+@dataclass(frozen=True)
+class CheckpointData(ProtocolMessage):
+    """The full checkpoint (state snapshot plus identifying tuple).
+
+    The wire size is dominated by the snapshot, so ``size_bytes`` is overridden
+    to charge the network for the full state-transfer volume.
+    """
+
+    checkpoint: "Checkpoint"
+
+    @property
+    def size_bytes(self) -> int:  # type: ignore[override]
+        return 256 + self.checkpoint.state_size_bytes
+
+
+@dataclass(frozen=True)
+class TrimQuery(ProtocolMessage):
+    """The group coordinator asks a subscribed replica for its safe instance of ``group``."""
+
+    group: GroupId
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class TrimReply(ProtocolMessage):
+    """Reply to :class:`TrimQuery`: the replica's checkpointed instance ``k[x]_p``."""
+
+    group: GroupId
+    replica: str
+    safe_instance: InstanceId
+
+
+@dataclass(frozen=True)
+class TrimCommand(ProtocolMessage):
+    """The coordinator instructs an acceptor to trim its log up to ``up_to`` (``K[x]_T``)."""
+
+    group: GroupId
+    up_to: InstanceId

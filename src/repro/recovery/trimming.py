@@ -1,0 +1,133 @@
+"""The coordinator-driven log-trimming protocol (Section 5.2).
+
+Periodically, the coordinator of multicast group ``x`` asks the replicas that
+subscribe to ``x`` for the highest consensus instance each has safely
+checkpointed (``k[x]_p``).  Once a trim quorum ``Q_T`` has answered, the
+coordinator computes ``K[x]_T = min(k[x]_p : p in Q_T)`` (Predicate 2) and
+instructs the ring's acceptors to trim their logs up to ``K[x]_T``.
+
+Because the recovering replica later selects the *maximum* checkpoint over a
+recovery quorum ``Q_R`` that intersects ``Q_T``, every instance the acceptors
+have trimmed is already reflected in that checkpoint (Predicates 4 and 5), so
+recovery never needs a trimmed instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.config import RecoveryConfig
+from repro.errors import RecoveryError
+from repro.recovery.messages import TrimCommand, TrimQuery, TrimReply
+from repro.types import GroupId, InstanceId
+
+__all__ = ["TrimProtocol"]
+
+
+class TrimProtocol:
+    """Attaches trim-protocol behaviour to a Multi-Ring Paxos node.
+
+    The same class serves the three sides of the protocol, activating only the
+    parts that match the node's roles:
+
+    * on every node with a checkpoint provider (a replica), it answers
+      :class:`TrimQuery` with the replica's safe instance;
+    * on every acceptor, it executes :class:`TrimCommand` against the ring's
+      stable log;
+    * on every ring coordinator, it periodically runs trim rounds.
+    """
+
+    def __init__(
+        self,
+        node,
+        config: Optional[RecoveryConfig] = None,
+        safe_instance_provider: Optional[Callable[[GroupId], InstanceId]] = None,
+    ) -> None:
+        self.node = node
+        self.config = config or RecoveryConfig()
+        self.safe_instance_provider = safe_instance_provider
+        # Coordinator-side round state, per group.
+        self._pending_replies: Dict[GroupId, Dict[str, InstanceId]] = {}
+        self._expected_replicas: Dict[GroupId, List[str]] = {}
+        self.trims_issued: Dict[GroupId, InstanceId] = {}
+        self.rounds_completed = 0
+
+        node.register_handler(TrimQuery, self._on_trim_query)
+        node.register_handler(TrimReply, self._on_trim_reply)
+        node.register_handler(TrimCommand, self._on_trim_command)
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm periodic trim rounds for every group this node coordinates."""
+        for group, role in self.node.roles.items():
+            if role.is_coordinator:
+                self.node.set_periodic_timer(
+                    self.config.trim_interval, self._start_round, group
+                )
+
+    # ------------------------------------------------------------------
+    # replica side
+    # ------------------------------------------------------------------
+    def _on_trim_query(self, sender: str, msg: TrimQuery) -> None:
+        if self.safe_instance_provider is None:
+            return
+        safe = self.safe_instance_provider(msg.group)
+        self.node.send_direct(
+            msg.reply_to,
+            TrimReply(group=msg.group, replica=self.node.name, safe_instance=safe),
+        )
+
+    # ------------------------------------------------------------------
+    # coordinator side
+    # ------------------------------------------------------------------
+    def _start_round(self, group: GroupId) -> None:
+        subscribers = self.node.registry.subscribers_of(group)
+        # Only replicas (nodes with application state) matter for trimming;
+        # the registry's subscriber list is exactly the learner set.
+        if not subscribers:
+            return
+        self._expected_replicas[group] = subscribers
+        self._pending_replies[group] = {}
+        for replica in subscribers:
+            self.node.send_direct(replica, TrimQuery(group=group, reply_to=self.node.name))
+
+    def _on_trim_reply(self, sender: str, msg: TrimReply) -> None:
+        group = msg.group
+        if group not in self._pending_replies:
+            return
+        expected = self._expected_replicas.get(group, [])
+        if msg.replica not in expected:
+            return
+        replies = self._pending_replies[group]
+        replies[msg.replica] = msg.safe_instance
+        quorum = self.config.trim_quorum_size(len(expected))
+        if len(replies) < quorum:
+            return
+        # Predicate 2: K[x]_T <= k[x]_p for every p in the quorum.
+        trim_to = min(replies.values())
+        del self._pending_replies[group]
+        self.rounds_completed += 1
+        if trim_to <= 0:
+            return
+        previous = self.trims_issued.get(group, 0)
+        if trim_to <= previous:
+            return
+        self.trims_issued[group] = trim_to
+        descriptor = self.node.registry.ring(group)
+        for acceptor in descriptor.acceptors:
+            # ``up_to`` is exclusive of the cursor semantics used by replicas:
+            # a cursor of k means instances < k are reflected, so acceptors
+            # may drop instances up to k-1.
+            self.node.send_direct(acceptor, TrimCommand(group=group, up_to=trim_to - 1))
+
+    # ------------------------------------------------------------------
+    # acceptor side
+    # ------------------------------------------------------------------
+    def _on_trim_command(self, sender: str, msg: TrimCommand) -> None:
+        role = self.node.roles.get(msg.group)
+        if role is None or role.storage is None:
+            return
+        removed = role.storage.trim(msg.up_to)
+        self.node.world.monitor.increment(f"trim/{msg.group}", removed)

@@ -1,0 +1,130 @@
+"""Atomic broadcast facade: a single Ring Paxos ring.
+
+Atomic broadcast is the special case of atomic multicast with a single group
+to which all processes subscribe (Section 2).  :class:`RingPaxosBroadcast`
+wires a complete single-ring deployment -- hosts, registry entry, roles --
+and exposes ``broadcast()`` plus per-learner delivery callbacks.  It is used
+directly by the unit tests and the quickstart example, and indirectly by the
+Figure 3 benchmark (one multicast group, "dummy service").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import RingConfig
+from repro.coordination.registry import Registry, RingDescriptor
+from repro.errors import ConfigurationError
+from repro.ringpaxos.node import RingHost
+from repro.sim.cpu import CPUConfig
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.world import World
+from repro.types import GroupId, InstanceId, Value
+
+__all__ = ["RingPaxosBroadcast", "build_broadcast_ring"]
+
+DeliveryCallback = Callable[[str, InstanceId, Value], None]
+
+
+class RingPaxosBroadcast:
+    """A fully wired single-ring Ring Paxos deployment."""
+
+    def __init__(
+        self,
+        world: World,
+        group: GroupId,
+        hosts: Dict[str, RingHost],
+        descriptor: RingDescriptor,
+    ) -> None:
+        self.world = world
+        self.group = group
+        self.hosts = hosts
+        self.descriptor = descriptor
+        self._deliveries: Dict[str, List] = {name: [] for name in hosts}
+        for name, host in hosts.items():
+            host.add_decision_sink(self._make_sink(name))
+        self._delivery_callbacks: List[DeliveryCallback] = []
+
+    def _make_sink(self, host_name: str):
+        def sink(group: GroupId, instance: InstanceId, value: Value) -> None:
+            if value.is_skip:
+                return
+            self._deliveries[host_name].append((instance, value))
+            for callback in self._delivery_callbacks:
+                callback(host_name, instance, value)
+
+        return sink
+
+    # ------------------------------------------------------------------
+    def on_deliver(self, callback: DeliveryCallback) -> None:
+        """Register ``callback(learner_name, instance, value)`` for every delivery."""
+        self._delivery_callbacks.append(callback)
+
+    def broadcast(self, payload, size_bytes: int, via: Optional[str] = None) -> Value:
+        """Atomically broadcast ``payload`` through one of the ring's proposers."""
+        proposer_name = via or self.descriptor.proposers[0]
+        return self.hosts[proposer_name].propose(self.group, payload, size_bytes)
+
+    def deliveries(self, learner: str) -> List:
+        """``(instance, value)`` pairs delivered at ``learner`` so far, in order."""
+        return list(self._deliveries.get(learner, []))
+
+    def delivered_payloads(self, learner: str) -> List:
+        return [value.payload for _, value in self._deliveries.get(learner, [])]
+
+    @property
+    def coordinator(self) -> RingHost:
+        return self.hosts[self.descriptor.coordinator]
+
+
+def build_broadcast_ring(
+    world: World,
+    members: Sequence[str],
+    registry: Optional[Registry] = None,
+    group: GroupId = "broadcast",
+    storage_mode: StorageMode = StorageMode.MEMORY,
+    acceptors: Optional[Sequence[str]] = None,
+    proposers: Optional[Sequence[str]] = None,
+    learners: Optional[Sequence[str]] = None,
+    sites: Optional[Dict[str, str]] = None,
+    ring_config: Optional[RingConfig] = None,
+    cpu_config: Optional[CPUConfig] = None,
+    share_disk: bool = False,
+) -> RingPaxosBroadcast:
+    """Build a single-ring deployment.
+
+    By default every member plays all three roles (the paper's Figure 3 setup:
+    "one ring with three processes, all of which are proposers, acceptors and
+    learners").
+    """
+    if len(members) < 1:
+        raise ConfigurationError("a ring needs at least one member")
+    registry = registry or Registry()
+    acceptors = list(acceptors) if acceptors is not None else list(members)
+    proposers = list(proposers) if proposers is not None else list(members)
+    learners = list(learners) if learners is not None else list(members)
+    descriptor = registry.register_ring(
+        group,
+        members_in_ring_order=members,
+        proposers=proposers,
+        acceptors=acceptors,
+        learners=learners,
+    )
+    config = ring_config or RingConfig(storage_mode=storage_mode)
+    if config.storage_mode is not storage_mode and ring_config is None:
+        config = config.with_storage(storage_mode)
+
+    shared_disk: Optional[Disk] = None
+    if share_disk:
+        shared_disk = disk_for_mode(world.sim, config.storage_mode)
+
+    hosts: Dict[str, RingHost] = {}
+    for name in members:
+        site = sites.get(name) if sites else None
+        host = RingHost(world, registry, name, site=site, cpu_config=cpu_config)
+        disk = shared_disk if share_disk else disk_for_mode(world.sim, config.storage_mode)
+        host.join_ring(group, ring_config=config, disk=disk if name in acceptors else None)
+        hosts[name] = host
+    for learner in learners:
+        registry.subscribe(learner, [group])
+    return RingPaxosBroadcast(world, group, hosts, descriptor)

@@ -1,0 +1,96 @@
+"""Ring Paxos wire messages.
+
+Every message carries the multicast ``group`` it belongs to so that a single
+host process participating in several rings (the normal case in Multi-Ring
+Paxos) can route it to the right per-ring role.
+
+``Phase2`` is the combined Phase 2A/2B message of the paper: the coordinator
+creates it with its own vote, and each acceptor extends the ``votes`` set as
+the message travels around the ring.  ``count > 1`` is used for skip ranges --
+the coordinator may skip several consensus instances with a single message
+(Section 4, rate leveling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.net.message import ProtocolMessage
+from repro.paxos.types import Ballot
+from repro.types import GroupId, InstanceId, Value
+
+__all__ = [
+    "Proposal",
+    "Phase2",
+    "Decision",
+    "RetransmitRequest",
+    "RetransmitReply",
+]
+
+
+@dataclass(frozen=True)
+class Proposal(ProtocolMessage):
+    """A value travelling clockwise from its proposer to the coordinator."""
+
+    group: GroupId
+    value: Value
+
+
+@dataclass(frozen=True)
+class Phase2(ProtocolMessage):
+    """Combined Phase 2A/2B message circulating in the ring.
+
+    ``instance`` is the first consensus instance covered; ``count`` is the
+    number of consecutive instances (always 1 except for skip ranges).
+    ``origin`` is the coordinator that created the message, used as the stop
+    condition for circulation.
+    """
+
+    group: GroupId
+    instance: InstanceId
+    count: int
+    ballot: Ballot
+    value: Value
+    votes: FrozenSet[str]
+    origin: str
+
+
+@dataclass(frozen=True)
+class Decision(ProtocolMessage):
+    """A decided value circulating until every ring member has seen it.
+
+    The decision carries the value so that members that have not yet seen the
+    corresponding ``Phase2`` (those downstream of the acceptor that gathered
+    the final vote) can still learn it.
+    """
+
+    group: GroupId
+    instance: InstanceId
+    count: int
+    value: Value
+    origin: str
+
+
+@dataclass(frozen=True)
+class RetransmitRequest(ProtocolMessage):
+    """A recovering replica asks an acceptor for decided values it missed."""
+
+    group: GroupId
+    first: InstanceId
+    last: InstanceId
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class RetransmitReply(ProtocolMessage):
+    """Acceptor response to a :class:`RetransmitRequest`.
+
+    ``entries`` holds ``(instance, value)`` pairs; ``trimmed_up_to`` is set
+    when part of the requested range has already been trimmed from the log,
+    in which case the replica must install a more recent checkpoint first.
+    """
+
+    group: GroupId
+    entries: Tuple[Tuple[InstanceId, Value], ...]
+    trimmed_up_to: Optional[InstanceId] = None

@@ -1,0 +1,186 @@
+"""The host process for one or more ring roles.
+
+A :class:`RingHost` corresponds to one OS process (one JVM in the paper's
+implementation).  It owns a CPU, optionally one or more disks, and any number
+of :class:`~repro.ringpaxos.role.RingRole` instances -- one per ring it
+participates in.  Incoming protocol messages are routed to the right role by
+their ``group`` field; everything else is handed to :meth:`on_other_message`
+for subclasses (replicas, clients, the Multi-Ring learner) to handle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import RingConfig
+from repro.coordination.registry import Registry
+from repro.errors import MulticastError
+from repro.net.ring import RingOverlay
+from repro.ringpaxos.messages import (
+    Decision,
+    Phase2,
+    Proposal,
+    RetransmitReply,
+    RetransmitRequest,
+)
+from repro.ringpaxos.role import RingRole
+from repro.sim.cpu import CPU, CPUConfig
+from repro.sim.disk import Disk
+from repro.sim.process import Process
+from repro.sim.world import World
+from repro.types import GroupId, InstanceId, Value
+
+__all__ = ["RingHost"]
+
+#: Signature of a decision sink: ``(group, instance, value)``.
+DecisionSink = Callable[[GroupId, InstanceId, Value], None]
+
+#: Message types handled by the per-ring roles; everything else goes to the
+#: host-level handlers (client requests, recovery traffic, ...).
+_RING_MESSAGE_TYPES = (Proposal, Phase2, Decision, RetransmitRequest)
+
+
+class RingHost(Process):
+    """A process hosting ring roles for one or more multicast groups."""
+
+    def __init__(
+        self,
+        world: World,
+        registry: Registry,
+        name: str,
+        site: Optional[str] = None,
+        cpu_config: Optional[CPUConfig] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self.registry = registry
+        self.cpu = CPU(world.sim, cpu_config)
+        self.roles: Dict[GroupId, RingRole] = {}
+        self._decision_sinks: List[DecisionSink] = []
+        self._handlers: Dict[type, List[Callable[[str, object], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # ring membership
+    # ------------------------------------------------------------------
+    def join_ring(
+        self,
+        group: GroupId,
+        ring_config: Optional[RingConfig] = None,
+        disk: Optional[Disk] = None,
+    ) -> RingRole:
+        """Take up this process's roles in the ring registered for ``group``."""
+        if group in self.roles:
+            return self.roles[group]
+        descriptor = self.registry.ring(group)
+        role = RingRole(self, descriptor, ring_config, disk=disk)
+        self.roles[group] = role
+        return role
+
+    def role(self, group: GroupId) -> RingRole:
+        try:
+            return self.roles[group]
+        except KeyError:
+            raise MulticastError(f"{self.name} is not a member of ring {group!r}") from None
+
+    def groups(self) -> List[GroupId]:
+        return list(self.roles)
+
+    # ------------------------------------------------------------------
+    # proposing / delivering
+    # ------------------------------------------------------------------
+    def propose(self, group: GroupId, payload, size_bytes: int) -> Value:
+        """Create a value from ``payload`` and atomically broadcast it on ``group``."""
+        value = Value.create(payload, size_bytes, proposer=self.name, created_at=self.now)
+        self.role(group).propose(value)
+        return value
+
+    def propose_value(self, group: GroupId, value: Value) -> Value:
+        """Broadcast an already-created value (used by batching proxies)."""
+        self.role(group).propose(value)
+        return value
+
+    def add_decision_sink(self, sink: DecisionSink) -> None:
+        """Register a callback invoked for every decision learned by this host."""
+        self._decision_sinks.append(sink)
+
+    def notify_decision(self, group: GroupId, instance: InstanceId, value: Value) -> None:
+        """Called by ring roles when a decision is learned on this host."""
+        for sink in self._decision_sinks:
+            sink(group, instance, value)
+
+    # ------------------------------------------------------------------
+    # infrastructure used by the roles
+    # ------------------------------------------------------------------
+    def after_cpu(self, nbytes: int, action: Callable[[], None], messages: int = 1) -> None:
+        """Charge the host CPU for handling a message, then run ``action``.
+
+        The action is dropped if the host crashes before the CPU work
+        completes (the real process would have lost it anyway).
+        """
+        done = self.cpu.charge(nbytes=nbytes, messages=messages)
+
+        def guarded() -> None:
+            if self.alive:
+                action()
+
+        if done <= self.now:
+            guarded()
+        else:
+            self.world.sim.schedule_at(done, guarded)
+
+    def ring_send(self, dest: str, msg) -> None:
+        """Send a protocol message to the next ring member."""
+        self.send(dest, msg, size_bytes=msg.size_bytes)
+
+    def send_direct(self, dest: str, msg) -> None:
+        """Send a message outside the ring overlay (replies, recovery traffic)."""
+        self.send(dest, msg, size_bytes=getattr(msg, "size_bytes", 128))
+
+    def next_live_member(self, overlay: RingOverlay, origin: str) -> Optional[str]:
+        """The next live member clockwise from this host, or ``None`` to stop.
+
+        Crashed members are skipped (the real system reconfigures the ring
+        through Zookeeper); circulation stops when the next live member is the
+        message's origin.
+        """
+        for candidate in overlay.walk_from(self.name):
+            if candidate == origin:
+                return None
+            if candidate == self.name:
+                return None
+            if self.world.has_process(candidate) and self.world.process(candidate).alive:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # message routing
+    # ------------------------------------------------------------------
+    def register_handler(self, message_type: type, handler: Callable[[str, object], None]) -> None:
+        """Register a handler for a non-ring message type (recovery, client traffic, ...)."""
+        self._handlers.setdefault(message_type, []).append(handler)
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, _RING_MESSAGE_TYPES):
+            group = getattr(payload, "group", None)
+            if group is not None and group in self.roles:
+                self.roles[group].on_message(sender, payload)
+            return
+        handlers = self._handlers.get(type(payload))
+        if handlers:
+            for handler in list(handlers):
+                handler(sender, payload)
+            return
+        self.on_other_message(sender, payload)
+
+    def on_other_message(self, sender: str, payload) -> None:
+        """Hook for subclasses: non-ring messages without a registered handler."""
+
+    # ------------------------------------------------------------------
+    # failure hooks
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        for role in self.roles.values():
+            role.on_host_crash()
+
+    def cpu_utilization_percent(self, start: float, end: float) -> float:
+        """Convenience for the Figure 3 coordinator-CPU metric."""
+        return self.cpu.utilization_percent(start, end)

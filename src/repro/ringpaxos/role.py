@@ -1,0 +1,316 @@
+"""The per-ring protocol state machine.
+
+A :class:`RingRole` holds everything one process knows about one ring: its
+roles in the ring (proposer / acceptor / learner / coordinator), the
+acceptor's stable log, the coordinator's instance counter, and the learner's
+set of already-learned decisions.  The role is host-agnostic: it talks to the
+outside world only through the :class:`~repro.ringpaxos.node.RingHost` that
+owns it, which provides messaging, CPU accounting and liveness information.
+
+Protocol summary (Section 4 of the paper, Figure 2b):
+
+1. a proposer's value travels clockwise until it reaches the coordinator;
+2. the coordinator assigns it the next consensus instance and forwards a
+   combined Phase 2A/2B message carrying the value and its own vote;
+3. every acceptor logs its vote to stable storage *before* forwarding the
+   message with the vote appended;
+4. the acceptor whose vote completes a majority replaces the message with a
+   decision, which keeps circulating until all members have received it;
+5. learners deliver a value once they know both the value and its decision
+   (the decision message carries the value, so one message suffices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.config import RingConfig
+from repro.errors import ConsensusError, MulticastError
+from repro.paxos.storage import AcceptorStorage
+from repro.paxos.types import Ballot
+from repro.ringpaxos.messages import (
+    Decision,
+    Phase2,
+    Proposal,
+    RetransmitReply,
+    RetransmitRequest,
+)
+from repro.sim.disk import Disk, StorageMode
+from repro.types import GroupId, InstanceId, Value, skip_value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.coordination.registry import RingDescriptor
+    from repro.ringpaxos.node import RingHost
+
+__all__ = ["RingRole"]
+
+
+class RingRole:
+    """One process's participation in one Ring Paxos ring."""
+
+    def __init__(
+        self,
+        host: "RingHost",
+        descriptor: "RingDescriptor",
+        config: Optional[RingConfig] = None,
+        disk: Optional[Disk] = None,
+    ) -> None:
+        self.host = host
+        self.descriptor = descriptor
+        self.config = config or RingConfig()
+        self.group: GroupId = descriptor.group
+        self.name = host.name
+        if self.name not in descriptor.overlay:
+            raise ConsensusError(f"{self.name} is not a member of ring {self.group!r}")
+
+        roles = descriptor.roles_of(self.name)
+        self.is_proposer = "proposer" in roles
+        self.is_acceptor = "acceptor" in roles
+        self.is_learner = "learner" in roles
+        self.is_coordinator = descriptor.coordinator == self.name
+        self.quorum = descriptor.quorum_size
+
+        #: Ballot used for the whole run; Phase 1 is pre-executed for all
+        #: instances under this ballot (paper, Figure 2b).
+        self.ballot = Ballot(1, descriptor.coordinator)
+
+        self.storage: Optional[AcceptorStorage] = None
+        if self.is_acceptor:
+            self.storage = AcceptorStorage(
+                host.world.sim, mode=self.config.storage_mode, disk=disk
+            )
+
+        # Coordinator state.
+        self.next_instance: InstanceId = 0
+        self.proposals_since_level = 0
+
+        # Learner state: which instances were already learned (dedup between
+        # the Phase2-completion path and the Decision path).
+        self._learned: Set[InstanceId] = set()
+        self.highest_learned: InstanceId = -1
+
+        # Statistics.
+        self.values_proposed = 0
+        self.skips_proposed = 0
+        self.decisions_learned = 0
+        self.skips_learned = 0
+
+    # ------------------------------------------------------------------
+    # proposing
+    # ------------------------------------------------------------------
+    def propose(self, value: Value) -> None:
+        """Atomically broadcast ``value`` on this ring."""
+        if not (self.is_proposer or self.is_coordinator):
+            raise MulticastError(
+                f"{self.name} is not a proposer for group {self.group!r}"
+            )
+        self.host.after_cpu(value.size_bytes, lambda: self._submit(value))
+
+    def _submit(self, value: Value) -> None:
+        if self.is_coordinator:
+            self._start_instances(value, 1)
+        else:
+            self._forward(Proposal(group=self.group, value=value), origin=self.name)
+
+    def propose_skip(self, count: int) -> None:
+        """Skip ``count`` consensus instances (rate leveling; coordinator only)."""
+        if not self.is_coordinator:
+            raise ConsensusError("only the coordinator can propose skip instances")
+        if count <= 0:
+            return
+        value = skip_value(created_at=self.host.now, proposer=self.name)
+        self._start_instances(value, count)
+
+    def reset_level_counter(self) -> int:
+        """Return and reset the number of proposals since the last Δ interval."""
+        count = self.proposals_since_level
+        self.proposals_since_level = 0
+        return count
+
+    # ------------------------------------------------------------------
+    # coordinator logic
+    # ------------------------------------------------------------------
+    def _start_instances(self, value: Value, count: int) -> None:
+        instance = self.next_instance
+        self.next_instance += count
+        if value.is_skip:
+            self.skips_proposed += count
+        else:
+            self.values_proposed += 1
+            self.proposals_since_level += 1
+        message = Phase2(
+            group=self.group,
+            instance=instance,
+            count=count,
+            ballot=self.ballot,
+            value=value,
+            votes=frozenset([self.name]),
+            origin=self.name,
+        )
+        # The coordinator is an acceptor: it logs its own vote before the
+        # message leaves (Section 5.1).
+        self._log_vote(message, lambda: self._after_vote(message))
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Proposal):
+            self._on_proposal(payload)
+        elif isinstance(payload, Phase2):
+            self._on_phase2(payload)
+        elif isinstance(payload, Decision):
+            self._on_decision(payload)
+        elif isinstance(payload, RetransmitRequest):
+            self._on_retransmit_request(payload)
+
+    def _on_proposal(self, msg: Proposal) -> None:
+        if self.is_coordinator:
+            self.host.after_cpu(msg.value.size_bytes, lambda: self._start_instances(msg.value, 1))
+        else:
+            # Not the coordinator: keep forwarding clockwise.
+            self.host.after_cpu(0, lambda: self._forward(msg, origin=msg.value.proposer or self.name))
+
+    def _on_phase2(self, msg: Phase2) -> None:
+        if self.is_acceptor and not self.is_coordinator:
+            record_check = msg.ballot >= self.ballot
+            if record_check:
+                updated = Phase2(
+                    group=msg.group,
+                    instance=msg.instance,
+                    count=msg.count,
+                    ballot=msg.ballot,
+                    value=msg.value,
+                    votes=msg.votes | {self.name},
+                    origin=msg.origin,
+                )
+                self.host.after_cpu(
+                    msg.value.size_bytes,
+                    lambda: self._log_vote(updated, lambda: self._after_vote(updated)),
+                )
+                return
+        # Non-acceptors (and acceptors that cannot vote) forward unchanged.
+        self.host.after_cpu(0, lambda: self._forward(msg, origin=msg.origin))
+
+    def _after_vote(self, msg: Phase2) -> None:
+        if len(msg.votes) >= self.quorum:
+            decision = Decision(
+                group=msg.group,
+                instance=msg.instance,
+                count=msg.count,
+                value=msg.value,
+                origin=self.name,
+            )
+            self._learn(msg.instance, msg.count, msg.value)
+            self._mark_decided_range(msg.instance, msg.count)
+            self._forward(decision, origin=self.name)
+        else:
+            self._forward(msg, origin=msg.origin)
+
+    def _on_decision(self, msg: Decision) -> None:
+        cpu_bytes = msg.value.size_bytes if msg.instance not in self._learned else 0
+        self.host.after_cpu(cpu_bytes, lambda: self._apply_decision(msg))
+
+    def _apply_decision(self, msg: Decision) -> None:
+        self._learn(msg.instance, msg.count, msg.value)
+        if self.is_acceptor and self.storage is not None:
+            # Acceptors downstream of the decision never cast a vote; they
+            # still log the decided value so that any acceptor can serve
+            # retransmissions during recovery.
+            for offset in range(msg.count):
+                instance = msg.instance + offset
+                if self.storage.is_trimmed(instance):
+                    continue
+                if self.storage.accepted_value(instance) is None:
+                    self.storage.log_votes_range(instance, 1, self.ballot, msg.value)
+                self.storage.mark_decided(instance)
+        self._forward(msg, origin=msg.origin)
+
+    def _on_retransmit_request(self, msg: RetransmitRequest) -> None:
+        if not self.is_acceptor or self.storage is None:
+            return
+        try:
+            entries = tuple(self.storage.read_range(msg.first, msg.last))
+            reply = RetransmitReply(group=self.group, entries=entries)
+        except Exception:
+            reply = RetransmitReply(
+                group=self.group,
+                entries=(),
+                trimmed_up_to=self.storage.trimmed_up_to,
+            )
+        payload_bytes = sum(value.size_bytes for _, value in reply.entries)
+        self.host.after_cpu(payload_bytes, lambda: self.host.send_direct(msg.reply_to, reply))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _log_vote(self, msg: Phase2, done) -> None:
+        if self.storage is None:
+            done()
+            return
+        self.storage.log_votes_range(msg.instance, msg.count, msg.ballot, msg.value, callback=done)
+
+    def _mark_decided_range(self, first: InstanceId, count: int) -> None:
+        if self.storage is None:
+            return
+        for offset in range(count):
+            self.storage.mark_decided(first + offset)
+
+    def _learn(self, first: InstanceId, count: int, value: Value) -> None:
+        for offset in range(count):
+            instance = first + offset
+            if instance in self._learned:
+                continue
+            self._learned.add(instance)
+            if instance > self.highest_learned:
+                self.highest_learned = instance
+            if value.is_skip:
+                self.skips_learned += 1
+            else:
+                self.decisions_learned += 1
+            if self.is_learner:
+                self.host.notify_decision(self.group, instance, value)
+        # Bound the dedup set: everything below the lowest unlearned instance
+        # can be forgotten (kept coarse to stay cheap).
+        if len(self._learned) > 100000:
+            floor = self.highest_learned - 50000
+            self._learned = {i for i in self._learned if i >= floor}
+
+    def _forward(self, msg, origin: str) -> None:
+        """Forward ``msg`` to the next live ring member, stopping at ``origin``."""
+        if not self.host.alive:
+            return  # the host crashed while the message was being processed
+        next_hop = self.host.next_live_member(self.descriptor.overlay, origin)
+        if next_hop is None:
+            return
+        self.host.ring_send(next_hop, msg)
+
+    def learned_instances(self) -> List[InstanceId]:
+        return sorted(self._learned)
+
+    def inject_learned(self, instance: InstanceId) -> None:
+        """Mark an instance as already learned (used when installing a checkpoint)."""
+        self._learned.add(instance)
+        if instance > self.highest_learned:
+            self.highest_learned = instance
+
+    def on_host_crash(self) -> None:
+        """Volatile-state handling when the hosting process crashes."""
+        if self.storage is not None and self.storage.mode is StorageMode.MEMORY:
+            # In-memory acceptor state does not survive a crash.
+            trimmed = self.storage.trimmed_up_to
+            self.storage = AcceptorStorage(self.host.world.sim, mode=StorageMode.MEMORY)
+            if trimmed is not None:
+                self.storage.trim(trimmed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        roles = []
+        if self.is_proposer:
+            roles.append("P")
+        if self.is_acceptor:
+            roles.append("A")
+        if self.is_learner:
+            roles.append("L")
+        if self.is_coordinator:
+            roles.append("C")
+        return f"RingRole({self.group!r}@{self.name!r}, {'/'.join(roles)})"

@@ -1,0 +1,23 @@
+"""The two services built on Multi-Ring Paxos (Section 6).
+
+* :mod:`repro.services.mrpstore` -- MRP-Store, a partitioned, replicated,
+  sequentially consistent key-value store (read / scan / update / insert /
+  delete, Table 1).
+* :mod:`repro.services.dlog` -- dLog, a distributed shared log with atomic
+  multi-log appends (append / multi-append / read / trim, Table 2).
+
+Both services replicate every partition with state-machine replication on
+atomic multicast and inherit Multi-Ring Paxos's recovery (checkpointing,
+log trimming, state transfer).
+"""
+
+from repro.services.mrpstore import MRPStore, MRPStoreStateMachine, PartitionMap
+from repro.services.dlog import DLog, DLogStateMachine
+
+__all__ = [
+    "MRPStore",
+    "MRPStoreStateMachine",
+    "PartitionMap",
+    "DLog",
+    "DLogStateMachine",
+]

@@ -1,0 +1,6 @@
+"""dLog: a distributed shared log with atomic multi-log appends (Section 6.2)."""
+
+from repro.services.dlog.state import DLogStateMachine
+from repro.services.dlog.service import DLog
+
+__all__ = ["DLogStateMachine", "DLog"]

@@ -1,0 +1,183 @@
+"""The dLog replica state machine.
+
+Each replica keeps, per log, the next append position, the total bytes ever
+appended, and an in-memory cache of the most recent appends (200 MB in the
+paper, Section 7.3); older data is flushed to the replica's disk
+asynchronously.  Entry *contents* are not materialized -- an entry is its
+position and size, which is all the benchmarks and consistency checks need.
+
+Operations (Table 2) are tuples:
+
+* ``("append", log, size)`` -- returns the position the entry was stored at,
+* ``("multi-append", (log, ...), size)`` -- atomically appends to several logs
+  and returns the per-log positions,
+* ``("read", log, position)`` -- returns the entry's size, if still available,
+* ``("trim", log, position)`` -- drops everything up to ``position``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.sim.disk import Disk
+from repro.smr.state_machine import StateMachine
+from repro.types import GroupId
+
+__all__ = ["DLogStateMachine"]
+
+
+class _Log:
+    """Per-log bookkeeping."""
+
+    __slots__ = ("next_position", "total_bytes", "trimmed_up_to", "entries")
+
+    def __init__(self) -> None:
+        self.next_position = 0
+        self.total_bytes = 0
+        self.trimmed_up_to = -1
+        #: position -> size for entries still in the in-memory cache.
+        self.entries: "OrderedDict[int, int]" = OrderedDict()
+
+
+class DLogStateMachine(StateMachine):
+    """Deterministic shared-log state machine."""
+
+    def __init__(
+        self,
+        logs: Tuple[str, ...] = (),
+        cache_bytes: int = 200 * 1024 * 1024,
+        disk: Optional[Disk] = None,
+        synchronous_disk: bool = False,
+    ) -> None:
+        self._logs: Dict[str, _Log] = {name: _Log() for name in logs}
+        self.cache_bytes = cache_bytes
+        self.cached_bytes = 0
+        self.disk = disk
+        self.synchronous_disk = synchronous_disk
+        self.operations = 0
+
+    # ------------------------------------------------------------------
+    # StateMachine interface
+    # ------------------------------------------------------------------
+    def execute(self, operation: Any, group: GroupId) -> Tuple[Any, int]:
+        if not isinstance(operation, tuple) or not operation:
+            raise ServiceError(f"malformed dLog operation: {operation!r}")
+        self.operations += 1
+        op = operation[0]
+        if op == "append":
+            return self._append(operation[1], operation[2])
+        if op == "multi-append":
+            return self._multi_append(tuple(operation[1]), operation[2])
+        if op == "read":
+            return self._read(operation[1], operation[2])
+        if op == "trim":
+            return self._trim(operation[1], operation[2])
+        raise ServiceError(f"unknown dLog operation {op!r}")
+
+    def snapshot(self) -> Tuple[Any, int]:
+        state = {
+            name: (log.next_position, log.total_bytes, log.trimmed_up_to, dict(log.entries))
+            for name, log in self._logs.items()
+        }
+        size = sum(64 + sum(log.entries.values()) for log in self._logs.values())
+        return state, max(64, size)
+
+    def install(self, state: Any) -> None:
+        self._logs = {}
+        self.cached_bytes = 0
+        if state is None:
+            return
+        for name, (next_position, total_bytes, trimmed, entries) in state.items():
+            log = _Log()
+            log.next_position = next_position
+            log.total_bytes = total_bytes
+            log.trimmed_up_to = trimmed
+            log.entries = OrderedDict(sorted(entries.items()))
+            self._logs[name] = log
+            self.cached_bytes += sum(entries.values())
+
+    def execution_cost_bytes(self, operation: Any) -> int:
+        if isinstance(operation, tuple) and operation and operation[0] in ("append", "multi-append"):
+            return int(operation[-1])
+        return 32
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _log(self, name: str, create: bool = True) -> Optional[_Log]:
+        log = self._logs.get(name)
+        if log is None and create:
+            log = _Log()
+            self._logs[name] = log
+        return log
+
+    def _append_one(self, name: str, size: int) -> int:
+        log = self._log(name)
+        position = log.next_position
+        log.next_position += 1
+        log.total_bytes += size
+        log.entries[position] = size
+        self.cached_bytes += size
+        self._evict_if_needed()
+        if self.disk is not None:
+            if self.synchronous_disk:
+                self.disk.write(size)
+            else:
+                self.disk.write_async(size)
+        return position
+
+    def _append(self, name: str, size: int) -> Tuple[Any, int]:
+        position = self._append_one(name, int(size))
+        return ("appended", name, position), 16
+
+    def _multi_append(self, names: Tuple[str, ...], size: int) -> Tuple[Any, int]:
+        positions = {name: self._append_one(name, int(size)) for name in names}
+        return ("appended", positions), 16 * max(1, len(names))
+
+    def _read(self, name: str, position: int) -> Tuple[Any, int]:
+        log = self._log(name, create=False)
+        if log is None or position >= log.next_position or position <= log.trimmed_up_to:
+            return ("miss", name, position), 16
+        size = log.entries.get(position)
+        if size is None:
+            # Evicted from the cache: served from disk in the real system.
+            if self.disk is not None:
+                self.disk.read(1024)
+            return ("value", name, position), 1024
+        return ("value", name, position), size
+
+    def _trim(self, name: str, position: int) -> Tuple[Any, int]:
+        log = self._log(name, create=False)
+        if log is None:
+            return ("miss", name, position), 16
+        log.trimmed_up_to = max(log.trimmed_up_to, position)
+        for existing in [p for p in log.entries if p <= position]:
+            self.cached_bytes -= log.entries.pop(existing)
+        return ("trimmed", name, position), 16
+
+    def _evict_if_needed(self) -> None:
+        """Drop the oldest cached entries once the 200 MB cache overflows."""
+        while self.cached_bytes > self.cache_bytes:
+            for log in self._logs.values():
+                if log.entries:
+                    _position, size = log.entries.popitem(last=False)
+                    self.cached_bytes -= size
+                    break
+            else:
+                break
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    def logs(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._logs))
+
+    def next_position(self, name: str) -> int:
+        log = self._logs.get(name)
+        return log.next_position if log is not None else 0
+
+    def total_bytes(self, name: str) -> int:
+        log = self._logs.get(name)
+        return log.total_bytes if log is not None else 0

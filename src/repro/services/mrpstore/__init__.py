@@ -1,0 +1,7 @@
+"""MRP-Store: a strongly consistent, partitioned key-value store (Section 6.1)."""
+
+from repro.services.mrpstore.partitioning import PartitionMap
+from repro.services.mrpstore.state import MRPStoreStateMachine
+from repro.services.mrpstore.service import MRPStore
+
+__all__ = ["PartitionMap", "MRPStoreStateMachine", "MRPStore"]

@@ -1,0 +1,138 @@
+"""Partitioning schemes for MRP-Store.
+
+Section 6.1: *"The database is divided into l partitions P0 ... Pl such that
+each partition Pi is responsible for a subset of keys in the key space.
+Applications can decide whether the data is hash- or range-partitioned, and
+clients must know the partitioning scheme."*  The scheme is stored in the
+coordination registry (Zookeeper in the paper) so every client and replica can
+evaluate it locally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PartitioningError
+from repro.types import GroupId
+
+__all__ = ["PartitionMap"]
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """Maps keys (strings) to partitions and partitions to multicast groups.
+
+    ``scheme`` is ``"hash"`` or ``"range"``.  With range partitioning the key
+    space is split lexicographically into equal slices over ``range_min`` /
+    ``range_max`` prefixes; with hash partitioning a key's partition is a hash
+    of the key modulo the partition count.
+    """
+
+    partitions: Tuple[str, ...]
+    groups: Dict[str, GroupId]
+    scheme: str = "hash"
+    #: Sorted upper bounds (exclusive) for range partitioning, one per
+    #: partition except the last (which is unbounded).
+    range_bounds: Tuple[str, ...] = ()
+    #: Group carrying cross-partition commands, or ``None`` when the
+    #: deployment runs "independent rings" (no global ordering).
+    global_group: Optional[GroupId] = None
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise PartitioningError("a partition map needs at least one partition")
+        if self.scheme not in ("hash", "range"):
+            raise PartitioningError(f"unknown partitioning scheme {self.scheme!r}")
+        for partition in self.partitions:
+            if partition not in self.groups:
+                raise PartitioningError(f"partition {partition!r} has no multicast group")
+        if self.scheme == "range" and len(self.range_bounds) != len(self.partitions) - 1:
+            raise PartitioningError(
+                "range partitioning needs exactly len(partitions) - 1 bounds"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def hashed(
+        cls,
+        partitions: Sequence[str],
+        groups: Dict[str, GroupId],
+        global_group: Optional[GroupId] = None,
+    ) -> "PartitionMap":
+        return cls(tuple(partitions), dict(groups), "hash", (), global_group)
+
+    @classmethod
+    def ranged(
+        cls,
+        partitions: Sequence[str],
+        groups: Dict[str, GroupId],
+        bounds: Sequence[str],
+        global_group: Optional[GroupId] = None,
+    ) -> "PartitionMap":
+        return cls(tuple(partitions), dict(groups), "range", tuple(bounds), global_group)
+
+    # ------------------------------------------------------------------
+    # key routing
+    # ------------------------------------------------------------------
+    def partition_of(self, key: str) -> str:
+        """The partition responsible for ``key``."""
+        if self.scheme == "hash":
+            digest = hashlib.md5(key.encode("utf-8")).digest()
+            index = int.from_bytes(digest[:4], "big") % len(self.partitions)
+            return self.partitions[index]
+        for index, bound in enumerate(self.range_bounds):
+            if key < bound:
+                return self.partitions[index]
+        return self.partitions[-1]
+
+    def group_of_key(self, key: str) -> GroupId:
+        """The multicast group a single-key command on ``key`` must be sent to."""
+        return self.groups[self.partition_of(key)]
+
+    def group_of_partition(self, partition: str) -> GroupId:
+        try:
+            return self.groups[partition]
+        except KeyError:
+            raise PartitioningError(f"unknown partition {partition!r}") from None
+
+    def partitions_for_scan(self, start_key: str, end_key: str) -> List[str]:
+        """Partitions that may hold keys in ``[start_key, end_key]``.
+
+        With hash partitioning every partition may hold matching keys; with
+        range partitioning only the slices overlapping the interval do
+        (Section 6.1).
+        """
+        if self.scheme == "hash":
+            return list(self.partitions)
+        result: List[str] = []
+        lower_bounds = ("",) + self.range_bounds
+        upper_bounds = self.range_bounds + (None,)
+        for partition, low, high in zip(self.partitions, lower_bounds, upper_bounds):
+            if high is not None and start_key >= high:
+                continue
+            if end_key < low:
+                continue
+            result.append(partition)
+        return result
+
+    def scan_group(self, start_key: str, end_key: str) -> Tuple[GroupId, int]:
+        """The group a scan is multicast to, and how many partition responses to expect.
+
+        With a global group, scans are multicast once to it and every involved
+        partition responds.  Without one ("independent rings"), the caller must
+        issue one command per involved partition instead; this method then
+        returns the first involved partition's group with a single expected
+        response, and :meth:`partitions_for_scan` enumerates the rest.
+        """
+        involved = self.partitions_for_scan(start_key, end_key)
+        if self.global_group is not None:
+            return self.global_group, len(involved)
+        return self.groups[involved[0]], 1
+
+    def owns(self, partition: str, key: str) -> bool:
+        """Does ``partition`` store ``key``?"""
+        return self.partition_of(key) == partition

@@ -1,0 +1,303 @@
+"""MRP-Store deployment builder and client library.
+
+This module wires a complete MRP-Store deployment on top of
+:class:`~repro.multiring.deployment.Deployment`:
+
+* one Ring Paxos ring per partition, with its acceptor/proposer nodes and its
+  replicas (the learners),
+* optionally a *global* ring that every replica subscribes to, carrying
+  cross-partition commands (scans under hash partitioning); disabling it gives
+  the paper's "independent rings" configuration, which orders commands within
+  partitions only,
+* proposer front-ends on the acceptor nodes (clients connect to them), with
+  optional 32 KB command batching,
+* a client library translating Table 1 operations into
+  :class:`~repro.smr.client.Request` objects routed to the right group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import BatchingConfig, MultiRingConfig, RecoveryConfig
+from repro.errors import ConfigurationError, ServiceError
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.sim.disk import Disk, StorageMode, disk_for_mode
+from repro.sim.world import World
+from repro.smr.client import Request
+from repro.smr.frontend import ProposerFrontend
+from repro.smr.replica import Replica
+from repro.services.mrpstore.partitioning import PartitionMap
+from repro.services.mrpstore.state import MRPStoreStateMachine
+from repro.types import GroupId
+
+__all__ = ["MRPStore"]
+
+
+@dataclass
+class _Partition:
+    name: str
+    group: GroupId
+    acceptors: List[str]
+    replicas: List[Replica]
+    frontends: List[ProposerFrontend]
+
+
+class MRPStore:
+    """A complete, runnable MRP-Store deployment."""
+
+    GLOBAL_GROUP: GroupId = "ring-global"
+
+    def __init__(
+        self,
+        world: World,
+        partitions: int = 3,
+        replicas_per_partition: int = 3,
+        acceptors_per_partition: int = 3,
+        use_global_ring: bool = True,
+        scheme: str = "hash",
+        storage_mode: StorageMode = StorageMode.ASYNC_SSD,
+        config: Optional[MultiRingConfig] = None,
+        recovery_config: Optional[RecoveryConfig] = None,
+        batching: Optional[BatchingConfig] = None,
+        partition_sites: Optional[Dict[str, str]] = None,
+        enable_recovery: bool = False,
+        key_space: int = 100000,
+    ) -> None:
+        if partitions < 1:
+            raise ConfigurationError("MRP-Store needs at least one partition")
+        self.world = world
+        self.config = config or MultiRingConfig.datacenter()
+        self.recovery_config = recovery_config or RecoveryConfig()
+        self.batching = batching or BatchingConfig(enabled=False)
+        self.use_global_ring = use_global_ring
+        self.storage_mode = storage_mode
+        self.key_space = key_space
+        self.deployment = Deployment(world, self.config)
+
+        partition_names = [f"p{i}" for i in range(partitions)]
+        groups = {name: f"ring-{name}" for name in partition_names}
+        if scheme == "range":
+            bounds = tuple(
+                self._key(int(self.key_space * (i + 1) / partitions))
+                for i in range(partitions - 1)
+            )
+            self.partition_map = PartitionMap.ranged(
+                partition_names,
+                groups,
+                bounds,
+                global_group=self.GLOBAL_GROUP if use_global_ring else None,
+            )
+        else:
+            self.partition_map = PartitionMap.hashed(
+                partition_names,
+                groups,
+                global_group=self.GLOBAL_GROUP if use_global_ring else None,
+            )
+
+        self.partitions: Dict[str, _Partition] = {}
+        self._build(
+            partition_names,
+            replicas_per_partition,
+            acceptors_per_partition,
+            partition_sites or {},
+            enable_recovery,
+        )
+        self.deployment.registry.store_partition_map("mrp-store", self.partition_map)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(
+        self,
+        partition_names: Sequence[str],
+        replicas_per_partition: int,
+        acceptors_per_partition: int,
+        partition_sites: Dict[str, str],
+        enable_recovery: bool,
+    ) -> None:
+        global_members: List[str] = []
+        global_acceptors: List[str] = []
+        global_learners: List[str] = []
+
+        for partition_name in partition_names:
+            group = self.partition_map.group_of_partition(partition_name)
+            site = partition_sites.get(partition_name)
+            acceptor_names = [
+                f"{partition_name}-acc{i}" for i in range(acceptors_per_partition)
+            ]
+            replica_names = [
+                f"{partition_name}-rep{i}" for i in range(replicas_per_partition)
+            ]
+
+            # Replica nodes must exist before the ring is added so we can use
+            # the Replica subclass (the deployment would otherwise create
+            # plain MultiRingNode learners).
+            replicas: List[Replica] = []
+            for replica_name in replica_names:
+                state_machine = MRPStoreStateMachine(partition_name, self.partition_map)
+                replica = Replica(
+                    self.world,
+                    self.deployment.registry,
+                    replica_name,
+                    state_machine=state_machine,
+                    partition=partition_name,
+                    config=self.config,
+                    site=site,
+                    monitor_series=partition_name,
+                )
+                self.deployment.nodes[replica_name] = replica
+                replicas.append(replica)
+
+            for acceptor_name in acceptor_names:
+                self.deployment.add_node(acceptor_name, site=site)
+
+            members = acceptor_names + replica_names
+            self.deployment.add_ring(
+                RingSpec(
+                    group=group,
+                    members=members,
+                    acceptors=acceptor_names,
+                    proposers=acceptor_names,
+                    learners=replica_names,
+                    storage_mode=self.storage_mode,
+                ),
+                sites={name: site for name in members} if site else None,
+            )
+
+            frontends = [
+                ProposerFrontend(self.deployment.node(name), batching=self.batching)
+                for name in acceptor_names
+            ]
+            self.partitions[partition_name] = _Partition(
+                name=partition_name,
+                group=group,
+                acceptors=acceptor_names,
+                replicas=replicas,
+                frontends=frontends,
+            )
+
+            global_members.append(acceptor_names[0])
+            global_acceptors.append(acceptor_names[0])
+            global_learners.extend(replica_names)
+
+        if self.use_global_ring:
+            self.deployment.add_ring(
+                RingSpec(
+                    group=self.GLOBAL_GROUP,
+                    members=global_members + global_learners,
+                    acceptors=global_acceptors,
+                    proposers=global_acceptors,
+                    learners=global_learners,
+                    storage_mode=self.storage_mode,
+                )
+            )
+
+        if enable_recovery:
+            for partition in self.partitions.values():
+                for replica in partition.replicas:
+                    disk = disk_for_mode(self.world.sim, StorageMode.SYNC_SSD)
+                    replica.enable_recovery(self.recovery_config, checkpoint_disk=disk)
+            # The trim protocol also needs the acceptor side: ring coordinators
+            # run the periodic trim rounds and every acceptor executes the
+            # resulting TrimCommand against its stable log.
+            from repro.recovery.trimming import TrimProtocol
+
+            for partition in self.partitions.values():
+                for acceptor_name in partition.acceptors:
+                    TrimProtocol(self.deployment.node(acceptor_name), self.recovery_config).start()
+
+    # ------------------------------------------------------------------
+    # key helpers
+    # ------------------------------------------------------------------
+    def _key(self, index: int) -> str:
+        return f"user{index:012d}"
+
+    def key(self, index: int) -> str:
+        """The canonical key for record ``index`` (YCSB-style ``userNNN`` keys)."""
+        return self._key(index)
+
+    # ------------------------------------------------------------------
+    # data loading (bypasses consensus, used to pre-populate the database)
+    # ------------------------------------------------------------------
+    def load(self, record_count: int, value_size: int = 1024) -> None:
+        """Populate every replica with ``record_count`` records of ``value_size`` bytes."""
+        for index in range(record_count):
+            key = self._key(index)
+            partition_name = self.partition_map.partition_of(key)
+            for replica in self.partitions[partition_name].replicas:
+                replica.state_machine.execute(("insert", key, value_size), "load")
+
+    # ------------------------------------------------------------------
+    # client library (Table 1)
+    # ------------------------------------------------------------------
+    def read(self, key: str, series: Optional[str] = None) -> Request:
+        return Request(("read", key), 64 + len(key), self.partition_map.group_of_key(key), 1, series)
+
+    def update(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(
+            ("update", key, value_size),
+            64 + len(key) + value_size,
+            self.partition_map.group_of_key(key),
+            1,
+            series,
+        )
+
+    def insert(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(
+            ("insert", key, value_size),
+            64 + len(key) + value_size,
+            self.partition_map.group_of_key(key),
+            1,
+            series,
+        )
+
+    def delete(self, key: str, series: Optional[str] = None) -> Request:
+        return Request(("delete", key), 64 + len(key), self.partition_map.group_of_key(key), 1, series)
+
+    def read_modify_write(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
+        return Request(
+            ("rmw", key, value_size),
+            64 + len(key) + value_size,
+            self.partition_map.group_of_key(key),
+            1,
+            series,
+        )
+
+    def scan(self, start_key: str, end_key: str, series: Optional[str] = None) -> Request:
+        group, expected = self.partition_map.scan_group(start_key, end_key)
+        return Request(("scan", start_key, end_key), 96 + len(start_key), group, expected, series)
+
+    # ------------------------------------------------------------------
+    # deployment access
+    # ------------------------------------------------------------------
+    def frontends_for_client(self, client_index: int = 0) -> Dict[GroupId, str]:
+        """A group -> front-end-node mapping for one client (spread round-robin)."""
+        mapping: Dict[GroupId, str] = {}
+        for partition in self.partitions.values():
+            mapping[partition.group] = partition.acceptors[client_index % len(partition.acceptors)]
+        if self.use_global_ring:
+            # Cross-partition commands can be submitted through any partition's
+            # first acceptor (they are all proposers of the global ring).
+            names = [p.acceptors[0] for p in self.partitions.values()]
+            mapping[self.GLOBAL_GROUP] = names[client_index % len(names)]
+        return mapping
+
+    def all_replicas(self) -> List[Replica]:
+        return [replica for partition in self.partitions.values() for replica in partition.replicas]
+
+    def replicas_of(self, partition: str) -> List[Replica]:
+        try:
+            return list(self.partitions[partition].replicas)
+        except KeyError:
+            raise ServiceError(f"unknown partition {partition!r}") from None
+
+    def groups(self) -> List[GroupId]:
+        groups = [partition.group for partition in self.partitions.values()]
+        if self.use_global_ring:
+            groups.append(self.GLOBAL_GROUP)
+        return groups
+
+    def start(self) -> None:
+        self.world.start()

@@ -1,0 +1,91 @@
+"""CPU cost model.
+
+Figure 3 (bottom-left) reports the CPU utilization of the ring coordinator
+and attributes the in-memory throughput ceiling to it.  The reproduction
+models each process's CPU as a single serial resource: protocol code charges
+it a per-message plus per-byte cost, and the utilization over a window is the
+fraction of that window during which the resource was busy.
+
+The paper also observes that the *asynchronous disk* mode exhibits the highest
+coordinator CPU because of Java's parallel garbage collector churning through
+heap-allocated buffers (in-memory mode uses off-heap buffers).  The model
+exposes an ``overhead_factor`` so experiments can reproduce that effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["CPUConfig", "CPU"]
+
+
+@dataclass
+class CPUConfig:
+    """Per-message processing costs charged to a process's CPU."""
+
+    #: Fixed cost of handling one protocol message, seconds.
+    per_message_cost: float = 4e-6
+    #: Marginal cost per payload byte (checksumming, copying), seconds/byte.
+    per_byte_cost: float = 0.25e-9
+    #: Multiplier applied to all costs; models e.g. GC overhead (paper: async
+    #: disk mode has the highest coordinator CPU because of the Java GC).
+    overhead_factor: float = 1.0
+
+
+class CPU:
+    """A serial CPU resource with busy-time accounting."""
+
+    def __init__(self, sim: Simulator, config: Optional[CPUConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or CPUConfig()
+        self._busy_until = 0.0
+        self._busy_time = 0.0
+        self.operations = 0
+
+    # ------------------------------------------------------------------
+    def cost(self, nbytes: int = 0, messages: int = 1) -> float:
+        """Compute the CPU time for handling ``messages`` totalling ``nbytes``."""
+        base = messages * self.config.per_message_cost + nbytes * self.config.per_byte_cost
+        return base * self.config.overhead_factor
+
+    def execute(
+        self,
+        work_seconds: float,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Occupy the CPU for ``work_seconds`` and return the completion time."""
+        if work_seconds < 0:
+            work_seconds = 0.0
+        start = max(self.sim.now, self._busy_until)
+        end = start + work_seconds
+        self._busy_until = end
+        self._busy_time += work_seconds
+        self.operations += 1
+        if callback is not None:
+            self.sim.schedule_at(end, callback)
+        return end
+
+    def charge(self, nbytes: int = 0, messages: int = 1) -> float:
+        """Convenience: :meth:`cost` followed by :meth:`execute`."""
+        return self.execute(self.cost(nbytes=nbytes, messages=messages))
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    @property
+    def total_busy_time(self) -> float:
+        return self._busy_time
+
+    def utilization(self, start: float, end: float) -> float:
+        """Fraction of ``[start, end)`` the CPU was busy (clamped to 100 %)."""
+        if end <= start:
+            return 0.0
+        return min(1.0, self._busy_time / (end - start))
+
+    def utilization_percent(self, start: float, end: float) -> float:
+        return 100.0 * self.utilization(start, end)

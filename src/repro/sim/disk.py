@@ -1,0 +1,190 @@
+"""Stable-storage device models.
+
+Figure 3 and Figure 6 of the paper evaluate Multi-Ring Paxos under five
+storage modes for the acceptor log:
+
+* in-memory (no stable storage at all),
+* asynchronous writes to a hard disk,
+* asynchronous writes to an SSD,
+* synchronous writes to a hard disk, and
+* synchronous writes to an SSD.
+
+The :class:`Disk` model captures the two properties that drive those curves:
+per-operation latency (dominant for synchronous writes, where the paper
+disables batching and writes instances one by one) and sequential bandwidth
+(the ceiling for asynchronous writes and for dLog appends).  Writes are
+serialized on the device; outstanding asynchronous writes accumulate in a
+write-back queue whose occupancy is visible to callers so that protocols can
+apply back-pressure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import StorageError
+from repro.sim.engine import Simulator
+
+__all__ = ["StorageMode", "DiskConfig", "Disk", "disk_for_mode", "HDD_CONFIG", "SSD_CONFIG"]
+
+
+class StorageMode(str, enum.Enum):
+    """The five acceptor storage modes evaluated in the paper."""
+
+    MEMORY = "memory"
+    ASYNC_HDD = "async-hdd"
+    ASYNC_SSD = "async-ssd"
+    SYNC_HDD = "sync-hdd"
+    SYNC_SSD = "sync-ssd"
+
+    @property
+    def synchronous(self) -> bool:
+        return self in (StorageMode.SYNC_HDD, StorageMode.SYNC_SSD)
+
+    @property
+    def durable(self) -> bool:
+        return self is not StorageMode.MEMORY
+
+    @property
+    def label(self) -> str:
+        return {
+            StorageMode.MEMORY: "In Memory",
+            StorageMode.ASYNC_HDD: "Async Disk",
+            StorageMode.ASYNC_SSD: "Async Disk (SSD)",
+            StorageMode.SYNC_HDD: "Sync Disk",
+            StorageMode.SYNC_SSD: "Sync Disk (SSD)",
+        }[self]
+
+
+@dataclass
+class DiskConfig:
+    """Physical characteristics of a storage device."""
+
+    #: Fixed cost of one *forced* (synchronous) write operation (seek +
+    #: rotational for HDD, channel latency for SSD), in seconds.
+    op_latency: float
+    #: Sequential write bandwidth in bytes/second.
+    bandwidth_bytes_per_sec: float
+    #: Fixed cost of one write-back (asynchronous) write.  Much smaller than
+    #: ``op_latency``: the OS and the device coalesce buffered writes, so the
+    #: per-operation seek is amortized over many operations.
+    async_op_latency: float = 0.0
+    #: Size of the write-back cache used for asynchronous writes, in bytes.
+    writeback_buffer_bytes: int = 64 * 1024 * 1024
+    #: Human readable device name.
+    name: str = "disk"
+
+
+#: A 7200-RPM hard disk: ~5 ms per forced write, ~150 MB/s sequential.
+HDD_CONFIG = DiskConfig(
+    op_latency=5e-3, bandwidth_bytes_per_sec=150e6, async_op_latency=50e-6, name="hdd"
+)
+
+#: A SATA SSD: ~100 us per forced write, ~450 MB/s sequential.
+SSD_CONFIG = DiskConfig(
+    op_latency=100e-6, bandwidth_bytes_per_sec=450e6, async_op_latency=10e-6, name="ssd"
+)
+
+
+class Disk:
+    """A single storage device with serialized writes.
+
+    ``write`` models a synchronous (forced) write: the callback fires when the
+    data is durable.  ``write_async`` models a write-back write: the callback
+    fires immediately unless the write-back buffer is full, in which case it
+    fires once enough previously buffered data has drained to the device.
+    """
+
+    def __init__(self, sim: Simulator, config: DiskConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self._busy_until = 0.0
+        self._buffered_bytes = 0
+        self._busy_time = 0.0
+        self.bytes_written = 0
+        self.ops = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth_bytes(self) -> int:
+        """Bytes currently sitting in the write-back buffer."""
+        return self._buffered_bytes
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def utilization(self, start: float, end: float) -> float:
+        """Approximate fraction of ``[start, end)`` the device spent writing."""
+        if end <= start:
+            return 0.0
+        return min(1.0, self._busy_time / (end - start))
+
+    # ------------------------------------------------------------------
+    def _service_time(self, nbytes: int, forced: bool = True) -> float:
+        op_latency = self.config.op_latency if forced else self.config.async_op_latency
+        return op_latency + nbytes / self.config.bandwidth_bytes_per_sec
+
+    def _reserve(self, nbytes: int, forced: bool = True) -> float:
+        """Reserve device time for ``nbytes`` and return the completion time."""
+        if nbytes < 0:
+            raise StorageError("cannot write a negative number of bytes")
+        start = max(self.sim.now, self._busy_until)
+        service = self._service_time(nbytes, forced)
+        self._busy_until = start + service
+        self._busy_time += service
+        self.bytes_written += nbytes
+        self.ops += 1
+        return self._busy_until
+
+    def write(self, nbytes: int, callback: Optional[Callable[[], None]] = None) -> float:
+        """Synchronous (forced) write.  Returns the durability time."""
+        done = self._reserve(nbytes)
+        if callback is not None:
+            self.sim.schedule_at(done, callback)
+        return done
+
+    def write_async(self, nbytes: int, callback: Optional[Callable[[], None]] = None) -> float:
+        """Write-back write.  Returns the time at which the *caller* may proceed.
+
+        Data is considered accepted as soon as it fits in the write-back
+        buffer; the device drains the buffer in the background.  When the
+        buffer is full the caller is delayed until space frees up, which is
+        what bounds asynchronous throughput at the device bandwidth.
+        """
+        done = self._reserve(nbytes, forced=False)
+        self._buffered_bytes += nbytes
+        self.sim.schedule_at(done, self._drained, nbytes)
+        if self._buffered_bytes <= self.config.writeback_buffer_bytes:
+            accept = self.sim.now
+        else:
+            # Caller must wait until the backlog that exceeds the buffer drains.
+            excess = self._buffered_bytes - self.config.writeback_buffer_bytes
+            accept = self.sim.now + excess / self.config.bandwidth_bytes_per_sec
+        if callback is not None:
+            self.sim.schedule_at(accept, callback)
+        return accept
+
+    def _drained(self, nbytes: int) -> None:
+        self._buffered_bytes = max(0, self._buffered_bytes - nbytes)
+
+    def read(self, nbytes: int, callback: Optional[Callable[[], None]] = None) -> float:
+        """Sequential read of ``nbytes``; shares the device with writes."""
+        done = self._reserve(nbytes)
+        if callback is not None:
+            self.sim.schedule_at(done, callback)
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Disk({self.config.name}, written={self.bytes_written}B)"
+
+
+def disk_for_mode(sim: Simulator, mode: StorageMode) -> Optional[Disk]:
+    """Build the device matching a :class:`StorageMode` (``None`` for in-memory)."""
+    if mode is StorageMode.MEMORY:
+        return None
+    if mode in (StorageMode.ASYNC_HDD, StorageMode.SYNC_HDD):
+        return Disk(sim, HDD_CONFIG)
+    return Disk(sim, SSD_CONFIG)

@@ -1,0 +1,180 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events are
+callbacks scheduled at absolute simulated times.  Ties are broken by an
+insertion sequence number so that two events scheduled for the same instant
+fire in FIFO order -- this keeps every run deterministic, which the test
+suite and the benchmark harness rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be cancelled
+    with :meth:`Simulator.cancel` (or :meth:`Event.cancel`).  Cancelled events
+    stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, {state})"
+
+
+class Simulator:
+    """The simulated clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+
+    The clock only advances when :meth:`run` or :meth:`step` pops events, and
+    it never goes backwards.  Scheduling in the past raises
+    :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (cancelled events included)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time:.6f}, clock is already at t={self._now:.6f}"
+            )
+        event = Event(time, next(self._seq), callback, args, kwargs)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event.  ``None`` is accepted and ignored."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulated time at which execution stopped.  When ``until``
+        is given the clock is advanced to exactly ``until`` even if the last
+        event fired earlier, which makes fixed-duration experiments easy to
+        express.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
+        """Run for ``duration`` seconds of simulated time starting from now."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"

@@ -1,0 +1,106 @@
+"""Failure injection.
+
+Figure 8 of the paper terminates one MRP-Store replica 20 seconds into the
+run and restarts it at 240 seconds, observing the effect of checkpointing,
+acceptor log trimming, and state transfer on throughput and latency.
+:class:`FailureSchedule` expresses such scenarios declaratively and
+:class:`FailureInjector` executes them against a :class:`~repro.sim.world.World`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.world import World
+
+__all__ = ["FailureEvent", "FailureSchedule", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A single scheduled failure action."""
+
+    time: float
+    action: str  # "crash" or "recover"
+    process: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ("crash", "recover"):
+            raise ConfigurationError(f"unknown failure action {self.action!r}")
+        if self.time < 0:
+            raise ConfigurationError("failure events cannot be scheduled before t=0")
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered list of crash/recover events."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def crash(self, process: str, at: float) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "crash", process))
+        return self
+
+    def recover(self, process: str, at: float) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "recover", process))
+        return self
+
+    def crash_and_recover(self, process: str, crash_at: float, recover_at: float) -> "FailureSchedule":
+        """Convenience for the Figure 8 scenario (kill at 20 s, restart at 240 s)."""
+        if recover_at <= crash_at:
+            raise ConfigurationError("recovery must happen after the crash")
+        return self.crash(process, crash_at).recover(process, recover_at)
+
+    def sorted_events(self) -> List[FailureEvent]:
+        return sorted(self.events, key=lambda event: (event.time, event.action))
+
+
+class FailureInjector:
+    """Applies a :class:`FailureSchedule` to the processes of a world."""
+
+    def __init__(self, world: "World", schedule: Optional[FailureSchedule] = None) -> None:
+        self.world = world
+        self.schedule = schedule or FailureSchedule()
+        self.applied: List[FailureEvent] = []
+        self._on_crash: List[Callable[[str], None]] = []
+        self._on_recover: List[Callable[[str], None]] = []
+
+    def on_crash(self, callback: Callable[[str], None]) -> None:
+        """Register a callback invoked with the process name after each crash."""
+        self._on_crash.append(callback)
+
+    def on_recover(self, callback: Callable[[str], None]) -> None:
+        """Register a callback invoked with the process name after each recovery."""
+        self._on_recover.append(callback)
+
+    def arm(self) -> None:
+        """Schedule every event in the failure schedule on the simulator."""
+        for event in self.schedule.sorted_events():
+            self.world.sim.schedule_at(event.time, self._apply, event)
+
+    def _apply(self, event: FailureEvent) -> None:
+        process = self.world.process(event.process)
+        if event.action == "crash":
+            process.crash()
+            callbacks = self._on_crash
+        else:
+            process.recover()
+            callbacks = self._on_recover
+        self.applied.append(event)
+        self.world.trace.record(self.world.sim.now, "failure-injector", f"{event.action} {event.process}")
+        for callback in callbacks:
+            callback(event.process)
+
+    def crash_now(self, process: str) -> None:
+        """Immediately crash a process (outside of any schedule)."""
+        self.world.process(process).crash()
+        self.applied.append(FailureEvent(self.world.sim.now, "crash", process))
+
+    def recover_now(self, process: str) -> None:
+        """Immediately recover a process (outside of any schedule)."""
+        self.world.process(process).recover()
+        self.applied.append(FailureEvent(self.world.sim.now, "recover", process))

@@ -1,0 +1,286 @@
+"""Measurement infrastructure: latency statistics and throughput timelines.
+
+Every figure in the paper reports one or more of
+
+* throughput in operations/second or Mbps (Figures 3-8),
+* average latency in milliseconds (Figures 3, 4, 5, 8),
+* a latency CDF (Figures 3, 6, 7),
+* a throughput/latency *timeline* during recovery (Figure 8),
+* CPU utilization at the coordinator (Figure 3).
+
+:class:`Monitor` collects the raw samples during a simulation and exposes the
+aggregations the benchmark harness needs.  Samples are tagged with a free-form
+series name (e.g. ``"ring-1"`` or ``"us-west-2"``) so a single run can report
+per-ring or per-region results.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyStats", "ThroughputTimeline", "Monitor"]
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50),
+            p90=percentile(ordered, 0.90),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+    def as_millis(self) -> Dict[str, float]:
+        """Return the statistics converted to milliseconds (for reports)."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.p50 * 1e3,
+            "p90_ms": self.p90 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "min_ms": self.minimum * 1e3,
+            "max_ms": self.maximum * 1e3,
+        }
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already *sorted* sequence."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lower = int(math.floor(pos))
+    upper = int(math.ceil(pos))
+    if lower == upper:
+        return ordered[lower]
+    frac = pos - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+class ThroughputTimeline:
+    """Operation completions bucketed into fixed-width time windows.
+
+    Used for Figure 8 (throughput over runtime during a recovery) and for
+    steady-state throughput computations that exclude warm-up and cool-down.
+    """
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._ops: Dict[int, int] = defaultdict(int)
+        self._bytes: Dict[int, int] = defaultdict(int)
+
+    def record(self, time: float, size_bytes: int = 0) -> None:
+        bucket = int(time // self.window)
+        self._ops[bucket] += 1
+        self._bytes[bucket] += size_bytes
+
+    def buckets(self) -> List[Tuple[float, int, int]]:
+        """Return ``(window_start_time, ops, bytes)`` tuples in time order."""
+        if not self._ops:
+            return []
+        first = min(self._ops)
+        last = max(self._ops)
+        return [
+            (bucket * self.window, self._ops.get(bucket, 0), self._bytes.get(bucket, 0))
+            for bucket in range(first, last + 1)
+        ]
+
+    def ops_series(self) -> List[Tuple[float, float]]:
+        """Return ``(time, ops_per_second)`` points for plotting/reporting."""
+        return [(start, ops / self.window) for start, ops, _ in self.buckets()]
+
+    def total_ops(self) -> int:
+        return sum(self._ops.values())
+
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+
+class Monitor:
+    """Collects operation samples for one simulation run."""
+
+    def __init__(self, timeline_window: float = 1.0) -> None:
+        self._latencies: Dict[str, List[float]] = defaultdict(list)
+        self._timelines: Dict[str, ThroughputTimeline] = {}
+        self._timeline_window = timeline_window
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._gauges: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_operation(
+        self,
+        series: str,
+        completion_time: float,
+        latency: float,
+        size_bytes: int = 0,
+    ) -> None:
+        """Record a completed operation on ``series``."""
+        self._latencies[series].append(latency)
+        self.timeline(series).record(completion_time, size_bytes)
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Increment a named counter (e.g. aborts, retransmissions, skips)."""
+        self._counters[counter] += amount
+
+    def record_gauge(self, gauge: str, time: float, value: float) -> None:
+        """Record a time-stamped gauge value (e.g. CPU utilization, queue length)."""
+        self._gauges[gauge].append((time, value))
+
+    def timeline(self, series: str) -> ThroughputTimeline:
+        if series not in self._timelines:
+            self._timelines[series] = ThroughputTimeline(self._timeline_window)
+        return self._timelines[series]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def series_names(self) -> List[str]:
+        return sorted(set(self._latencies) | set(self._timelines))
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def gauge_series(self, gauge: str) -> List[Tuple[float, float]]:
+        return list(self._gauges.get(gauge, []))
+
+    def gauge_mean(self, gauge: str) -> float:
+        points = self._gauges.get(gauge, [])
+        if not points:
+            return 0.0
+        return sum(value for _, value in points) / len(points)
+
+    def latencies(self, series: Optional[str] = None) -> List[float]:
+        """Raw latency samples for one series, or for all series combined."""
+        if series is not None:
+            return list(self._latencies.get(series, []))
+        merged: List[float] = []
+        for samples in self._latencies.values():
+            merged.extend(samples)
+        return merged
+
+    def latency_stats(self, series: Optional[str] = None) -> LatencyStats:
+        return LatencyStats.from_samples(self.latencies(series))
+
+    def latency_cdf(self, series: Optional[str] = None, points: int = 100) -> List[Tuple[float, float]]:
+        """Return ``(latency_seconds, cumulative_fraction)`` pairs."""
+        samples = sorted(self.latencies(series))
+        if not samples:
+            return []
+        cdf = []
+        for index in range(points + 1):
+            fraction = index / points
+            cdf.append((percentile(samples, fraction), fraction))
+        return cdf
+
+    def fraction_below(self, threshold: float, series: Optional[str] = None) -> float:
+        """Fraction of samples with latency strictly below ``threshold`` seconds."""
+        samples = sorted(self.latencies(series))
+        if not samples:
+            return 0.0
+        return bisect.bisect_left(samples, threshold) / len(samples)
+
+    def throughput_ops(
+        self,
+        series: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> float:
+        """Average operations/second over ``[start, end)`` of the run.
+
+        When ``start``/``end`` are omitted the full recorded span is used.
+        """
+        names = [series] if series is not None else self.series_names()
+        total_ops = 0
+        span_start = math.inf
+        span_end = -math.inf
+        for name in names:
+            timeline = self._timelines.get(name)
+            if timeline is None:
+                continue
+            for bucket_start, ops, _ in timeline.buckets():
+                bucket_end = bucket_start + timeline.window
+                if start is not None and bucket_end <= start:
+                    continue
+                if end is not None and bucket_start >= end:
+                    continue
+                total_ops += ops
+                span_start = min(span_start, bucket_start)
+                span_end = max(span_end, bucket_end)
+        if span_start is math.inf or span_end <= span_start:
+            return 0.0
+        window_start = start if start is not None else span_start
+        window_end = end if end is not None else span_end
+        duration = window_end - window_start
+        if duration <= 0:
+            return 0.0
+        return total_ops / duration
+
+    def throughput_mbps(
+        self,
+        series: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> float:
+        """Average goodput in megabits/second over ``[start, end)``."""
+        names = [series] if series is not None else self.series_names()
+        total_bytes = 0
+        span_start = math.inf
+        span_end = -math.inf
+        for name in names:
+            timeline = self._timelines.get(name)
+            if timeline is None:
+                continue
+            for bucket_start, _, nbytes in timeline.buckets():
+                bucket_end = bucket_start + timeline.window
+                if start is not None and bucket_end <= start:
+                    continue
+                if end is not None and bucket_start >= end:
+                    continue
+                total_bytes += nbytes
+                span_start = min(span_start, bucket_start)
+                span_end = max(span_end, bucket_end)
+        if span_start is math.inf or span_end <= span_start:
+            return 0.0
+        window_start = start if start is not None else span_start
+        window_end = end if end is not None else span_end
+        duration = window_end - window_start
+        if duration <= 0:
+            return 0.0
+        return total_bytes * 8 / 1e6 / duration
+
+    def throughput_series(self, series: str) -> List[Tuple[float, float]]:
+        """``(time, ops_per_second)`` timeline for one series (Figure 8)."""
+        return self.timeline(series).ops_series()

@@ -1,0 +1,176 @@
+"""Message-level network model.
+
+The paper's implementation sends all protocol traffic over TCP connections
+arranged in a unidirectional ring.  The simulator models each process with a
+single full-duplex NIC:
+
+* outgoing messages are **serialized** on the sender's NIC at the link
+  bandwidth (a 32 KB packet on a 10 Gbps NIC occupies it for ~26 us),
+* the message then experiences the one-way **propagation latency** between
+  the sender's and receiver's sites (from the :class:`~repro.sim.topology.Topology`),
+* incoming messages are serialized on the receiver's NIC as well, and
+* delivery between any ordered pair of processes is **FIFO**, matching TCP.
+
+Messages destined to a crashed process are dropped (TCP would reset the
+connection; the protocols above re-establish state through recovery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.sim.engine import Simulator
+from repro.sim.topology import Topology, lan_topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+__all__ = ["NetworkConfig", "Network"]
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable constants of the network model.
+
+    ``per_message_overhead_bytes`` accounts for TCP/IP and protocol framing;
+    ``min_delivery_delay`` is a floor modelling kernel/scheduling overhead so
+    that even empty messages take a non-zero time.
+    """
+
+    per_message_overhead_bytes: int = 64
+    min_delivery_delay: float = 20e-6
+    drop_to_crashed: bool = True
+
+
+class _Nic:
+    """Tracks when a process's transmit/receive path next becomes free."""
+
+    __slots__ = ("tx_free_at", "rx_free_at", "tx_bytes", "rx_bytes")
+
+    def __init__(self) -> None:
+        self.tx_free_at = 0.0
+        self.rx_free_at = 0.0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+
+class Network:
+    """Routes messages between attached processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Optional[Topology] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology or lan_topology()
+        self.config = config or NetworkConfig()
+        self._processes: Dict[str, "Process"] = {}
+        self._sites: Dict[str, str] = {}
+        self._nics: Dict[str, _Nic] = {}
+        self._fifo_clock: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def attach(self, process: "Process", site: str) -> None:
+        """Attach ``process`` to ``site``.  Called by :class:`~repro.sim.world.World`."""
+        if not self.topology.has_site(site):
+            raise NetworkError(f"unknown site {site!r} for process {process.name!r}")
+        self._processes[process.name] = process
+        self._sites[process.name] = site
+        self._nics.setdefault(process.name, _Nic())
+
+    def detach(self, name: str) -> None:
+        self._processes.pop(name, None)
+        self._sites.pop(name, None)
+
+    def site_of(self, name: str) -> str:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise NetworkError(f"process {name!r} is not attached to the network") from None
+
+    def is_attached(self, name: str) -> bool:
+        return name in self._processes
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> float:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns the scheduled delivery time.  The payload object is handed to
+        the destination's ``on_message`` untouched (the simulator does not
+        serialize Python objects; ``size_bytes`` drives the timing model).
+        """
+        if src not in self._processes:
+            raise NetworkError(f"unknown sender {src!r}")
+        if dst not in self._processes:
+            raise NetworkError(f"unknown destination {dst!r}")
+        wire_bytes = max(0, size_bytes) + self.config.per_message_overhead_bytes
+        src_site = self._sites[src]
+        dst_site = self._sites[dst]
+        bandwidth = self.topology.bandwidth(src_site, dst_site)
+        propagation = self.topology.latency(src_site, dst_site)
+        transmit_time = wire_bytes * 8.0 / bandwidth
+
+        now = self.sim.now
+        src_nic = self._nics[src]
+        dst_nic = self._nics[dst]
+
+        # Serialize on the sender's transmit path.
+        tx_start = max(now, src_nic.tx_free_at)
+        tx_end = tx_start + transmit_time
+        src_nic.tx_free_at = tx_end
+        src_nic.tx_bytes += wire_bytes
+
+        # Propagation plus serialization on the receiver's receive path.
+        arrival = tx_end + propagation
+        rx_start = max(arrival, dst_nic.rx_free_at)
+        rx_end = rx_start + transmit_time
+        dst_nic.rx_free_at = rx_end
+        dst_nic.rx_bytes += wire_bytes
+
+        delivery = max(rx_end, now + self.config.min_delivery_delay)
+
+        # FIFO per ordered (src, dst) pair, like a TCP connection.
+        key = (src, dst)
+        delivery = max(delivery, self._fifo_clock.get(key, 0.0))
+        self._fifo_clock[key] = delivery
+
+        self.messages_sent += 1
+        self.bytes_sent += wire_bytes
+        self.sim.schedule_at(delivery, self._deliver, src, dst, payload)
+        return delivery
+
+    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+        process = self._processes.get(dst)
+        if process is None or not process.alive:
+            if self.config.drop_to_crashed:
+                self.messages_dropped += 1
+                return
+            raise NetworkError(f"destination {dst!r} is not available")
+        self.messages_delivered += 1
+        process.deliver_message(src, payload)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def nic_bytes(self, name: str) -> Tuple[int, int]:
+        """Return ``(tx_bytes, rx_bytes)`` transferred by a process's NIC."""
+        nic = self._nics.get(name)
+        if nic is None:
+            return (0, 0)
+        return (nic.tx_bytes, nic.rx_bytes)
+
+    def one_way_latency(self, src: str, dst: str) -> float:
+        """The propagation latency currently configured between two processes."""
+        return self.topology.latency(self.site_of(src), self.site_of(dst))

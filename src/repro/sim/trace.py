@@ -1,0 +1,60 @@
+"""Lightweight event tracing.
+
+Tracing is disabled by default (every protocol message would otherwise produce
+a record and slow large experiments down).  Enable it on the
+:class:`~repro.sim.world.World` to debug protocol behaviour or to assert on
+event sequences in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: ``time``, emitting ``process`` and free-form ``message``."""
+
+    time: float
+    process: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.6f}] {self.process}: {self.message}"
+
+
+class Trace:
+    """An append-only in-memory trace buffer."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, process: str, message: str) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            return
+        self._records.append(TraceRecord(time, process, message))
+
+    def records(self, process: Optional[str] = None, containing: Optional[str] = None) -> List[TraceRecord]:
+        """Filter trace records by emitting process and/or substring."""
+        result = self._records
+        if process is not None:
+            result = [record for record in result if record.process == process]
+        if containing is not None:
+            result = [record for record in result if containing in record.message]
+        return list(result)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self._records)

@@ -1,0 +1,108 @@
+"""The experiment environment.
+
+A :class:`World` bundles everything a simulation needs -- the event engine,
+the network (with its topology), the metric monitor, deterministic random
+streams, the trace buffer and the registry of processes.  Protocol code never
+instantiates these pieces individually; it receives a world and builds on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.random import RandomStreams
+from repro.sim.topology import Topology, lan_topology
+from repro.sim.trace import Trace
+
+__all__ = ["World"]
+
+
+class World:
+    """Container for one simulated deployment."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        seed: int = 0,
+        network_config: Optional[NetworkConfig] = None,
+        timeline_window: float = 1.0,
+        trace_enabled: bool = False,
+        default_site: Optional[str] = None,
+    ) -> None:
+        self.sim = Simulator()
+        self.topology = topology or lan_topology()
+        self.network = Network(self.sim, self.topology, network_config)
+        self.monitor = Monitor(timeline_window=timeline_window)
+        self.rng = RandomStreams(seed)
+        self.trace = Trace(enabled=trace_enabled)
+        self._processes: Dict[str, "Process"] = {}
+        if default_site is None:
+            default_site = self.topology.sites[0]
+        if not self.topology.has_site(default_site):
+            raise ConfigurationError(f"default site {default_site!r} is not in the topology")
+        self.default_site = default_site
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # process registry
+    # ------------------------------------------------------------------
+    def register(self, process: "Process", site: str) -> None:
+        """Called by :class:`~repro.sim.process.Process` on construction."""
+        if process.name in self._processes:
+            raise ConfigurationError(f"a process named {process.name!r} already exists")
+        self._processes[process.name] = process
+        self.network.attach(process, site)
+        if self._started:
+            # Late-joining processes (e.g. a replacement replica) start
+            # immediately.
+            self.sim.schedule(0.0, process.on_start)
+
+    def process(self, name: str) -> "Process":
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise NetworkError(f"unknown process {name!r}") from None
+
+    def has_process(self, name: str) -> bool:
+        return name in self._processes
+
+    def processes(self) -> List["Process"]:
+        return list(self._processes.values())
+
+    def process_names(self) -> List[str]:
+        return list(self._processes)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Invoke ``on_start`` on every registered process (once)."""
+        if self._started:
+            return
+        self._started = True
+        for process in list(self._processes.values()):
+            self.sim.schedule(0.0, process.on_start)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Start all processes (if needed) and run the simulation."""
+        self.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float) -> float:
+        self.start()
+        return self.sim.run_for(duration)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"World(t={self.sim.now:.3f}, processes={len(self._processes)})"
+
+
+# Imported late to avoid a circular import at module load time.
+from repro.sim.process import Process  # noqa: E402  (intentional tail import)

@@ -1,0 +1,36 @@
+"""State-machine replication on top of atomic multicast.
+
+Both services in the paper (MRP-Store and dLog) replicate each partition with
+the state-machine approach: clients submit commands to proposers, commands are
+atomically multicast to the group(s) replicating the data they touch, and
+replicas -- the learners -- execute them in delivery order (Sections 6 and 7).
+
+* :mod:`repro.smr.command` -- commands, batches, client/replica messages;
+* :mod:`repro.smr.state_machine` -- the deterministic state-machine interface
+  services implement;
+* :mod:`repro.smr.replica` -- the replica node: executes delivered commands,
+  answers clients, checkpoints its state and recovers after failures;
+* :mod:`repro.smr.frontend` -- the proposer front-end clients connect to
+  (the Thrift proxy of the paper), including 32 KB client-command batching;
+* :mod:`repro.smr.client` -- closed-loop clients driving a workload.
+"""
+
+from repro.smr.command import Command, CommandBatch, Response, SubmitCommand
+from repro.smr.state_machine import StateMachine, NullStateMachine
+from repro.smr.frontend import ProposerFrontend
+from repro.smr.replica import Replica
+from repro.smr.client import ClosedLoopClient, Request, Workload
+
+__all__ = [
+    "Command",
+    "CommandBatch",
+    "SubmitCommand",
+    "Response",
+    "StateMachine",
+    "NullStateMachine",
+    "ProposerFrontend",
+    "Replica",
+    "ClosedLoopClient",
+    "Request",
+    "Workload",
+]

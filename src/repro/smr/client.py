@@ -1,0 +1,135 @@
+"""Closed-loop clients.
+
+The paper's benchmarks drive the services with multi-threaded closed-loop
+clients: each thread keeps exactly one request outstanding and issues the next
+one as soon as the previous one completes.  :class:`ClosedLoopClient` models
+one such client machine with ``threads`` concurrent streams; the requests it
+issues come from a :class:`Workload` object (YCSB mixes, append-only streams,
+update-only streams, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.errors import WorkloadError
+from repro.sim.process import Process
+from repro.sim.world import World
+from repro.smr.command import Command, Response, SubmitCommand
+from repro.types import GroupId
+
+__all__ = ["Request", "Workload", "ClosedLoopClient"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One logical client request produced by a workload."""
+
+    #: Service-specific operation payload (e.g. ``("update", key, value_size)``).
+    operation: object
+    #: Serialized request size in bytes.
+    size_bytes: int
+    #: The multicast group the request must be submitted to.
+    group: GroupId
+    #: How many replica responses complete the request (1, or one per partition
+    #: for scans / multi-appends).
+    expected_responses: int = 1
+    #: Label under which the completion is recorded in the monitor.
+    series: Optional[str] = None
+
+
+class Workload(Protocol):
+    """Anything that can produce the next request for a client thread."""
+
+    def next_request(self, rng: random.Random) -> Request:  # pragma: no cover - protocol
+        ...
+
+
+class ClosedLoopClient(Process):
+    """A client machine running ``threads`` closed-loop request streams."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str,
+        workload: Workload,
+        frontends: Dict[GroupId, str],
+        threads: int = 1,
+        site: Optional[str] = None,
+        series: str = "client",
+        think_time: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        if threads < 1:
+            raise WorkloadError("a client needs at least one thread")
+        self.workload = workload
+        self.frontends = dict(frontends)
+        self.threads = threads
+        self.series = series
+        self.think_time = think_time
+        self.rng = rng or world.rng.stream(f"client:{name}")
+        self._outstanding: Dict[int, Request] = {}
+        self._responses_seen: Dict[int, set] = {}
+        self._sent_at: Dict[int, float] = {}
+        self.completed = 0
+        self.issued = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        for _ in range(self.threads):
+            self._issue_next()
+
+    def _issue_next(self) -> None:
+        if not self.alive:
+            return
+        request = self.workload.next_request(self.rng)
+        frontend = self.frontends.get(request.group)
+        if frontend is None:
+            raise WorkloadError(f"no front-end configured for group {request.group!r}")
+        command = Command.create(
+            client=self.name,
+            operation=request.operation,
+            size_bytes=request.size_bytes,
+            created_at=self.now,
+            expected_responses=request.expected_responses,
+        )
+        self._outstanding[command.command_id] = request
+        self._responses_seen[command.command_id] = set()
+        self._sent_at[command.command_id] = self.now
+        self.issued += 1
+        self.send(frontend, SubmitCommand(group=request.group, command=command))
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, payload) -> None:
+        if not isinstance(payload, Response):
+            return
+        request = self._outstanding.get(payload.command_id)
+        if request is None:
+            return  # duplicate response after completion
+        seen = self._responses_seen[payload.command_id]
+        # For single-partition commands the first response completes the
+        # request; for scans the client waits for one response per partition.
+        seen.add(payload.partition)
+        if len(seen) < request.expected_responses:
+            return
+        sent_at = self._sent_at.pop(payload.command_id)
+        del self._outstanding[payload.command_id]
+        del self._responses_seen[payload.command_id]
+        self.completed += 1
+        latency = self.now - sent_at
+        series = request.series or self.series
+        self.world.monitor.record_operation(
+            series, completion_time=self.now, latency=latency, size_bytes=request.size_bytes
+        )
+        if self.think_time > 0:
+            self.set_timer(self.think_time, self._issue_next)
+        else:
+            self._issue_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)

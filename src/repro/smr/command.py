@@ -1,0 +1,92 @@
+"""Commands and client-facing messages."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.net.message import ProtocolMessage
+from repro.types import GroupId
+
+__all__ = ["Command", "CommandBatch", "SubmitCommand", "Response"]
+
+_command_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One application command submitted by a client.
+
+    ``operation`` is service-specific (an MRP-Store read/update, a dLog
+    append, ...).  ``size_bytes`` is the serialized size used by the network,
+    disk and CPU models.  ``expected_responses`` tells the client how many
+    replica responses complete the command (one for single-partition
+    commands, one per partition for scans / multi-appends).
+    """
+
+    command_id: int
+    client: str
+    operation: Any
+    size_bytes: int
+    created_at: float
+    expected_responses: int = 1
+
+    @classmethod
+    def create(
+        cls,
+        client: str,
+        operation: Any,
+        size_bytes: int,
+        created_at: float,
+        expected_responses: int = 1,
+    ) -> "Command":
+        return cls(
+            command_id=next(_command_ids),
+            client=client,
+            operation=operation,
+            size_bytes=max(1, int(size_bytes)),
+            created_at=created_at,
+            expected_responses=expected_responses,
+        )
+
+
+@dataclass(frozen=True)
+class CommandBatch:
+    """Several commands grouped into one multicast value (32 KB client batching)."""
+
+    commands: Tuple[Command, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(command.size_bytes for command in self.commands) + 16 * len(self.commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+@dataclass(frozen=True)
+class SubmitCommand(ProtocolMessage):
+    """A client hands a command to a proposer front-end for multicast to ``group``."""
+
+    group: GroupId
+    command: Command
+
+    @property
+    def size_bytes(self) -> int:  # type: ignore[override]
+        return 64 + self.command.size_bytes
+
+
+@dataclass(frozen=True)
+class Response(ProtocolMessage):
+    """A replica's response to a client (sent over UDP in the paper)."""
+
+    command_id: int
+    replica: str
+    partition: str
+    result: Any
+    result_size_bytes: int = 64
+
+    @property
+    def size_bytes(self) -> int:  # type: ignore[override]
+        return 64 + self.result_size_bytes

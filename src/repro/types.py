@@ -1,0 +1,75 @@
+"""Shared value types used across the library.
+
+The central abstraction is :class:`Value` -- the unit proposed to consensus,
+multicast to a group, and delivered to learners.  Real deployments carry byte
+arrays; the simulator carries an opaque ``payload`` plus an explicit
+``size_bytes`` that drives the network, disk and CPU models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+__all__ = ["Value", "skip_value", "GroupId", "InstanceId", "RingPosition"]
+
+#: Multicast-group identifier (the paper uses small integers; strings read better).
+GroupId = str
+
+#: Consensus-instance number inside one ring, starting at 0.
+InstanceId = int
+
+#: Index of a process in the ring order.
+RingPosition = int
+
+_value_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Value:
+    """A proposed/decided value.
+
+    ``uid`` is globally unique, assigned at creation time.  ``is_skip`` marks
+    the null values coordinators propose to skip consensus instances for rate
+    leveling (Section 4).
+    """
+
+    uid: int
+    payload: Any
+    size_bytes: int
+    proposer: Optional[str] = None
+    created_at: float = 0.0
+    is_skip: bool = False
+
+    @classmethod
+    def create(
+        cls,
+        payload: Any,
+        size_bytes: int,
+        proposer: Optional[str] = None,
+        created_at: float = 0.0,
+    ) -> "Value":
+        return cls(
+            uid=next(_value_counter),
+            payload=payload,
+            size_bytes=max(0, int(size_bytes)),
+            proposer=proposer,
+            created_at=created_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "skip" if self.is_skip else "value"
+        return f"Value(uid={self.uid}, {kind}, {self.size_bytes}B, from={self.proposer})"
+
+
+def skip_value(created_at: float = 0.0, proposer: Optional[str] = None) -> Value:
+    """Create a null (skip) value used by rate leveling."""
+    return Value(
+        uid=next(_value_counter),
+        payload=None,
+        size_bytes=0,
+        proposer=proposer,
+        created_at=created_at,
+        is_skip=True,
+    )

@@ -1,0 +1,27 @@
+"""Workload generators.
+
+* :mod:`repro.workloads.distributions` -- uniform / zipfian / latest key
+  choosers (the request distributions of YCSB).
+* :mod:`repro.workloads.ycsb` -- the six YCSB core workloads (A-F) used by
+  the Figure 4 comparison, targeting any key-value service that exposes the
+  MRP-Store client library surface.
+* :mod:`repro.workloads.simple` -- the paper's other drivers: fixed-size
+  append streams for dLog (Figures 5 and 6) and update-only streams for the
+  horizontal-scalability experiment (Figure 7).
+"""
+
+from repro.workloads.distributions import UniformChooser, ZipfianChooser, LatestChooser
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, YCSB_WORKLOADS
+from repro.workloads.simple import AppendWorkload, UpdateWorkload, MixedOperationWorkload
+
+__all__ = [
+    "UniformChooser",
+    "ZipfianChooser",
+    "LatestChooser",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "YCSB_WORKLOADS",
+    "AppendWorkload",
+    "UpdateWorkload",
+    "MixedOperationWorkload",
+]

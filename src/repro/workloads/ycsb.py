@@ -1,0 +1,136 @@
+"""The YCSB core workloads (A-F).
+
+Figure 4 of the paper compares MRP-Store (with and without the global ring),
+Cassandra and MySQL under the Yahoo! Cloud Serving Benchmark.  This module
+reproduces the six core workloads:
+
+========  ==================================  =====================
+Workload  Operation mix                       Request distribution
+========  ==================================  =====================
+A         50% read / 50% update               zipfian
+B         95% read /  5% update               zipfian
+C         100% read                           zipfian
+D         95% read /  5% insert               latest
+E         95% scan /  5% insert               zipfian (scan length uniform <= 100)
+F         50% read / 50% read-modify-write    zipfian
+========  ==================================  =====================
+
+A workload instance targets any service exposing the MRP-Store client-library
+surface (``read`` / ``update`` / ``insert`` / ``scan`` / ``read_modify_write``
+returning :class:`~repro.smr.client.Request` objects), so the same generator
+also drives the baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import WorkloadError
+from repro.smr.client import Request
+from repro.workloads.distributions import LatestChooser, UniformChooser, ZipfianChooser
+
+__all__ = ["YCSBConfig", "YCSBWorkload", "YCSB_WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Configuration of one YCSB workload."""
+
+    name: str
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    rmw_proportion: float = 0.0
+    request_distribution: str = "zipfian"  # "zipfian" | "uniform" | "latest"
+    record_count: int = 1000
+    #: YCSB default record: 10 fields of 100 bytes.
+    value_size: int = 1000
+    max_scan_length: int = 100
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.scan_proportion
+            + self.rmw_proportion
+        )
+        if not 0.999 <= total <= 1.001:
+            raise WorkloadError(f"operation proportions of {self.name!r} must sum to 1, got {total}")
+        if self.request_distribution not in ("zipfian", "uniform", "latest"):
+            raise WorkloadError(f"unknown request distribution {self.request_distribution!r}")
+
+    def scaled(self, record_count: int) -> "YCSBConfig":
+        """The same mix over a different database size."""
+        return replace(self, record_count=record_count)
+
+
+#: The six YCSB core workloads with their standard mixes.
+YCSB_WORKLOADS: Dict[str, YCSBConfig] = {
+    "A": YCSBConfig("A", read_proportion=0.5, update_proportion=0.5),
+    "B": YCSBConfig("B", read_proportion=0.95, update_proportion=0.05),
+    "C": YCSBConfig("C", read_proportion=1.0),
+    "D": YCSBConfig("D", read_proportion=0.95, insert_proportion=0.05, request_distribution="latest"),
+    "E": YCSBConfig("E", scan_proportion=0.95, insert_proportion=0.05),
+    "F": YCSBConfig("F", read_proportion=0.5, rmw_proportion=0.5),
+}
+
+
+class YCSBWorkload:
+    """Generates :class:`Request` objects for a key-value service."""
+
+    def __init__(self, service, config: YCSBConfig, series: Optional[str] = None) -> None:
+        self.service = service
+        self.config = config
+        self.series = series or f"ycsb-{config.name}"
+        self._insert_cursor = config.record_count
+        if config.request_distribution == "uniform":
+            self._chooser = UniformChooser(config.record_count)
+        elif config.request_distribution == "latest":
+            self._chooser = LatestChooser(config.record_count)
+        else:
+            self._chooser = ZipfianChooser(config.record_count)
+        # Per-operation-type latency series for the workload-F breakdown.
+        self.split_series_by_operation = False
+
+    # ------------------------------------------------------------------
+    def _series_for(self, operation: str) -> str:
+        if self.split_series_by_operation:
+            return f"{self.series}/{operation}"
+        return self.series
+
+    def _existing_key(self, rng: random.Random) -> str:
+        index = min(self._chooser.next_index(rng), self._insert_cursor - 1)
+        return self.service.key(index)
+
+    def next_request(self, rng: random.Random) -> Request:
+        config = self.config
+        roll = rng.random()
+        threshold = config.read_proportion
+        if roll < threshold:
+            return self.service.read(self._existing_key(rng), series=self._series_for("read"))
+        threshold += config.update_proportion
+        if roll < threshold:
+            return self.service.update(
+                self._existing_key(rng), config.value_size, series=self._series_for("update")
+            )
+        threshold += config.rmw_proportion
+        if roll < threshold:
+            return self.service.read_modify_write(
+                self._existing_key(rng), config.value_size, series=self._series_for("read-modify-write")
+            )
+        threshold += config.scan_proportion
+        if roll < threshold:
+            start_index = self._chooser.next_index(rng)
+            length = rng.randint(1, config.max_scan_length)
+            start_key = self.service.key(start_index)
+            end_key = self.service.key(start_index + length)
+            return self.service.scan(start_key, end_key, series=self._series_for("scan"))
+        # Insert: append a brand-new key and let the choosers know about it.
+        key = self.service.key(self._insert_cursor)
+        self._insert_cursor += 1
+        self._chooser.grow(self._insert_cursor)
+        return self.service.insert(key, config.value_size, series=self._series_for("insert"))

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MultiRingConfig
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+
+
+@pytest.fixture
+def world() -> World:
+    """A fresh LAN world with a fixed seed."""
+    return World(topology=lan_topology(), seed=123, timeline_window=0.5)
+
+
+@pytest.fixture
+def wan_world() -> World:
+    from repro.sim.topology import wan_topology
+
+    return World(topology=wan_topology(), seed=123, default_site="eu-west-1")
+
+
+def build_two_ring_deployment(world: World, config: MultiRingConfig | None = None) -> Deployment:
+    """The Figure 2(c) deployment: two rings, L1/L2 on both, L3 on ring-2 only."""
+    deployment = Deployment(world, config or MultiRingConfig.datacenter())
+    deployment.add_ring(
+        RingSpec(
+            group="ring-1",
+            members=["a1", "a2", "a3", "L1", "L2"],
+            acceptors=["a1", "a2", "a3"],
+            proposers=["a1", "a2", "a3"],
+            learners=["L1", "L2"],
+        )
+    )
+    deployment.add_ring(
+        RingSpec(
+            group="ring-2",
+            members=["b1", "b2", "b3", "L1", "L2", "L3"],
+            acceptors=["b1", "b2", "b3"],
+            proposers=["b1", "b2", "b3"],
+            learners=["L1", "L2", "L3"],
+        )
+    )
+    return deployment
+
+
+def collect_deliveries(deployment: Deployment, learners) -> dict:
+    """Attach delivery recorders to the given learner nodes."""
+    deliveries = {name: [] for name in learners}
+    for name in learners:
+        deployment.node(name).on_deliver(
+            lambda d, name=name: deliveries[name].append((d.group, d.instance, d.value.payload))
+        )
+    return deliveries

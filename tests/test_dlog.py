@@ -1,0 +1,140 @@
+"""Tests for dLog: the state machine and the full service."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.services.dlog import DLog, DLogStateMachine
+from repro.sim.world import World
+from repro.smr.client import ClosedLoopClient
+from repro.workloads.simple import AppendWorkload
+
+
+class TestDLogStateMachine:
+    def test_append_returns_consecutive_positions(self):
+        machine = DLogStateMachine(logs=("log-a",))
+        positions = [machine.execute(("append", "log-a", 100), "g")[0][2] for _ in range(5)]
+        assert positions == [0, 1, 2, 3, 4]
+        assert machine.next_position("log-a") == 5
+        assert machine.total_bytes("log-a") == 500
+
+    def test_multi_append_hits_every_log_atomically(self):
+        machine = DLogStateMachine(logs=("log-a", "log-b"))
+        result, _ = machine.execute(("multi-append", ("log-a", "log-b"), 64), "g")
+        assert result[0] == "appended"
+        assert result[1] == {"log-a": 0, "log-b": 0}
+        assert machine.next_position("log-a") == 1
+        assert machine.next_position("log-b") == 1
+
+    def test_read_existing_and_missing_positions(self):
+        machine = DLogStateMachine(logs=("log-a",))
+        machine.execute(("append", "log-a", 100), "g")
+        assert machine.execute(("read", "log-a", 0), "g")[0][0] == "value"
+        assert machine.execute(("read", "log-a", 5), "g")[0][0] == "miss"
+        assert machine.execute(("read", "ghost", 0), "g")[0][0] == "miss"
+
+    def test_trim_drops_old_entries(self):
+        machine = DLogStateMachine(logs=("log-a",))
+        for _ in range(5):
+            machine.execute(("append", "log-a", 10), "g")
+        machine.execute(("trim", "log-a", 2), "g")
+        assert machine.execute(("read", "log-a", 1), "g")[0][0] == "miss"
+        assert machine.execute(("read", "log-a", 3), "g")[0][0] == "value"
+
+    def test_cache_eviction_when_over_capacity(self):
+        machine = DLogStateMachine(logs=("log-a",), cache_bytes=1000)
+        for _ in range(20):
+            machine.execute(("append", "log-a", 100), "g")
+        assert machine.cached_bytes <= 1000
+        assert machine.next_position("log-a") == 20
+
+    def test_snapshot_install_round_trip(self):
+        machine = DLogStateMachine(logs=("log-a",))
+        for _ in range(3):
+            machine.execute(("append", "log-a", 10), "g")
+        state, size = machine.snapshot()
+        assert size > 0
+        other = DLogStateMachine()
+        other.install(state)
+        assert other.next_position("log-a") == 3
+        other.install(None)
+        assert other.next_position("log-a") == 0
+
+    def test_unknown_and_malformed_operations_rejected(self):
+        machine = DLogStateMachine()
+        with pytest.raises(ServiceError):
+            machine.execute(("rollback", "log-a"), "g")
+        with pytest.raises(ServiceError):
+            machine.execute(None, "g")
+
+    def test_execution_cost_scales_with_append_size(self):
+        machine = DLogStateMachine()
+        assert machine.execution_cost_bytes(("append", "l", 4096)) == 4096
+        assert machine.execution_cost_bytes(("read", "l", 0)) == 32
+
+
+class TestDLogService:
+    def test_appends_are_ordered_identically_on_all_replicas(self, world):
+        dlog = DLog(world, logs=("log-0", "log-1"), replicas=2, acceptors_per_log=3)
+        workload = AppendWorkload(dlog, logs=["log-0", "log-1"], append_size=512, series="dl")
+        client = ClosedLoopClient(
+            world, "client", workload, dlog.frontends_for_client(0), threads=4, series="dl"
+        )
+        world.run(until=3.0)
+        assert client.completed > 10
+        first, second = dlog.replica_nodes
+        for log in ("log-0", "log-1"):
+            assert first.state_machine.next_position(log) > 0
+        # Quiesce before comparing the two replicas.
+        client.crash()
+        world.run(until=4.0)
+        for log in ("log-0", "log-1"):
+            assert first.state_machine.next_position(log) == second.state_machine.next_position(log)
+
+    def test_append_request_routes_to_the_logs_ring(self, world):
+        dlog = DLog(world, logs=("log-0", "log-1"), replicas=1)
+        request = dlog.append("log-1", 256)
+        assert request.group == "dlog-log-1"
+        assert request.expected_responses == 1
+
+    def test_multi_append_uses_the_global_ring(self, world):
+        dlog = DLog(world, logs=("log-0", "log-1"), replicas=1, use_global_ring=True)
+        request = dlog.multi_append(["log-0", "log-1"], 256)
+        assert request.group == DLog.GLOBAL_GROUP
+
+    def test_multi_append_without_global_ring_rejected(self, world):
+        dlog = DLog(world, logs=("log-0",), replicas=1, use_global_ring=False)
+        with pytest.raises(ServiceError):
+            dlog.multi_append(["log-0"], 256)
+
+    def test_unknown_log_rejected(self, world):
+        dlog = DLog(world, logs=("log-0",), replicas=1)
+        with pytest.raises(ServiceError):
+            dlog.append("ghost", 10)
+
+    def test_each_log_ring_gets_its_own_disk(self, world):
+        from repro.sim.disk import StorageMode
+
+        dlog = DLog(
+            world, logs=("log-0", "log-1"), replicas=1, storage_mode=StorageMode.ASYNC_HDD
+        )
+        disk_0 = dlog.ring_disk_of("log-0")
+        disk_1 = dlog.ring_disk_of("log-1")
+        assert disk_0 is not None and disk_1 is not None
+        assert disk_0 is not disk_1
+
+    def test_multi_append_positions_are_consistent(self, world):
+        dlog = DLog(world, logs=("log-0", "log-1"), replicas=2)
+        workload = AppendWorkload(
+            dlog, logs=["log-0", "log-1"], append_size=256, series="ma", multi_append_fraction=1.0
+        )
+        client = ClosedLoopClient(
+            world, "client", workload, dlog.frontends_for_client(0), threads=2, series="ma"
+        )
+        world.run(until=2.0)
+        client.crash()
+        world.run(until=3.0)
+        first, second = dlog.replica_nodes
+        # Every multi-append touches both logs, so their positions stay in lockstep.
+        assert first.state_machine.next_position("log-0") == first.state_machine.next_position("log-1")
+        assert first.state_machine.next_position("log-0") == second.state_machine.next_position("log-0")
+        assert client.completed > 0

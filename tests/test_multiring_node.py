@@ -1,0 +1,188 @@
+"""Integration tests for Multi-Ring Paxos (multiple rings, merge, rate leveling)."""
+
+import pytest
+
+from repro.config import MultiRingConfig
+from repro.errors import MulticastError
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.sim.world import World
+
+from conftest import build_two_ring_deployment, collect_deliveries
+
+
+class TestAtomicMulticastProperties:
+    def test_learners_of_same_partition_deliver_identical_sequences(self, world):
+        deployment = build_two_ring_deployment(world)
+        deliveries = collect_deliveries(deployment, ["L1", "L2", "L3"])
+        world.start()
+        for index in range(6):
+            deployment.multicast("ring-1", f"r1-{index}", 512)
+        for index in range(4):
+            deployment.multicast("ring-2", f"r2-{index}", 512)
+        world.run(until=1.0)
+
+        assert deliveries["L1"] == deliveries["L2"]
+        payloads_l1 = [payload for _g, _i, payload in deliveries["L1"]]
+        assert sorted(payloads_l1) == sorted(
+            [f"r1-{i}" for i in range(6)] + [f"r2-{i}" for i in range(4)]
+        )
+
+    def test_learner_subscribing_to_one_group_only_gets_that_group(self, world):
+        deployment = build_two_ring_deployment(world)
+        deliveries = collect_deliveries(deployment, ["L3"])
+        world.start()
+        deployment.multicast("ring-1", "not-for-L3", 512)
+        deployment.multicast("ring-2", "for-L3", 512)
+        world.run(until=1.0)
+        groups = {group for group, _i, _p in deliveries["L3"]}
+        assert groups == {"ring-2"}
+        assert [p for _g, _i, p in deliveries["L3"]] == ["for-L3"]
+
+    def test_relative_delivery_order_of_common_groups_is_consistent(self, world):
+        """The order property: no two learners disagree on the order of messages
+        from groups they both subscribe to."""
+        deployment = build_two_ring_deployment(world)
+        deliveries = collect_deliveries(deployment, ["L1", "L2", "L3"])
+        world.start()
+        for index in range(8):
+            deployment.multicast("ring-2", f"r2-{index}", 256)
+        world.run(until=1.0)
+        ring2_at_l1 = [p for g, _i, p in deliveries["L1"] if g == "ring-2"]
+        ring2_at_l3 = [p for g, _i, p in deliveries["L3"] if g == "ring-2"]
+        assert ring2_at_l1 == ring2_at_l3
+
+    def test_multicast_to_unknown_group_rejected(self, world):
+        deployment = build_two_ring_deployment(world)
+        world.start()
+        with pytest.raises(MulticastError):
+            deployment.multicast("ring-99", "x", 10)
+
+    def test_node_cannot_multicast_to_group_it_is_not_proposer_of(self, world):
+        deployment = build_two_ring_deployment(world)
+        world.start()
+        with pytest.raises(MulticastError):
+            deployment.node("L3").multicast("ring-1", "x", 10)
+
+    def test_subscriptions_reflect_learner_roles(self, world):
+        deployment = build_two_ring_deployment(world)
+        assert deployment.node("L1").subscriptions == ["ring-1", "ring-2"]
+        assert deployment.node("L3").subscriptions == ["ring-2"]
+        assert deployment.node("a1").subscriptions == []
+
+    def test_registry_partition_peers_derived_from_subscriptions(self, world):
+        deployment = build_two_ring_deployment(world)
+        registry = deployment.registry
+        assert registry.partition_peers("L1") == ["L2"]
+        assert registry.partition_peers("L3") == []
+
+
+class TestRateLeveling:
+    def test_idle_ring_coordinator_proposes_skips(self, world):
+        deployment = build_two_ring_deployment(world)
+        world.start()
+        deployment.multicast("ring-1", "only-ring-1-traffic", 512)
+        world.run(until=0.5)
+        skips = deployment.coordinator_of("ring-2").skip_statistics()["ring-2"]
+        assert skips > 0
+
+    def test_skips_unblock_learners_of_busy_ring(self, world):
+        deployment = build_two_ring_deployment(world)
+        deliveries = collect_deliveries(deployment, ["L1"])
+        world.start()
+        for index in range(20):
+            deployment.multicast("ring-1", f"busy-{index}", 256)
+        world.run(until=1.0)
+        payloads = [p for _g, _i, p in deliveries["L1"]]
+        assert len(payloads) == 20
+
+    def test_without_rate_leveling_busy_ring_is_blocked(self, world):
+        config = MultiRingConfig.datacenter(rate_leveling=False)
+        deployment = build_two_ring_deployment(world, config)
+        deliveries = collect_deliveries(deployment, ["L1"])
+        world.start()
+        for index in range(20):
+            deployment.multicast("ring-1", f"busy-{index}", 256)
+        world.run(until=1.0)
+        # With the idle ring never advancing, at most M messages of the busy
+        # ring can be delivered.
+        assert len(deliveries["L1"]) <= config.m
+
+    def test_busy_ring_does_not_skip(self, world):
+        deployment = build_two_ring_deployment(world)
+        world.start()
+        # Keep ring-1 near its expected rate for a short run.
+        for index in range(50):
+            deployment.multicast("ring-1", f"m{index}", 128)
+        world.run(until=0.1)
+        skips_busy = deployment.coordinator_of("ring-1").skip_statistics()["ring-1"]
+        skips_idle = deployment.coordinator_of("ring-2").skip_statistics()["ring-2"]
+        assert skips_idle > skips_busy
+
+    def test_wide_area_config_uses_paper_parameters(self):
+        config = MultiRingConfig.wide_area()
+        assert config.m == 1
+        assert config.delta == pytest.approx(20e-3)
+        assert config.lam == pytest.approx(2000.0)
+        assert config.skip_quota_per_interval == 40
+        lan = MultiRingConfig.datacenter()
+        assert lan.delta == pytest.approx(5e-3)
+        assert lan.lam == pytest.approx(9000.0)
+        assert lan.skip_quota_per_interval == 45
+
+
+class TestDeployment:
+    def test_duplicate_ring_rejected(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        with pytest.raises(Exception):
+            deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+
+    def test_add_node_is_idempotent(self, world):
+        deployment = Deployment(world)
+        node_first = deployment.add_node("n")
+        node_second = deployment.add_node("n")
+        assert node_first is node_second
+
+    def test_ring_disks_created_per_acceptor(self, world):
+        from repro.sim.disk import StorageMode
+
+        deployment = Deployment(world)
+        deployment.add_ring(
+            RingSpec(group="g", members=["a", "b", "c"], storage_mode=StorageMode.ASYNC_SSD)
+        )
+        disk_a = deployment.ring_disk("g", "a")
+        disk_b = deployment.ring_disk("g", "b")
+        assert disk_a is not None and disk_b is not None and disk_a is not disk_b
+
+    def test_shared_disk_option(self, world):
+        from repro.sim.disk import StorageMode
+
+        deployment = Deployment(world)
+        deployment.add_ring(
+            RingSpec(
+                group="g",
+                members=["a", "b", "c"],
+                storage_mode=StorageMode.ASYNC_SSD,
+                share_disk=True,
+            )
+        )
+        assert deployment.ring_disk("g", "a") is deployment.ring_disk("g", "b")
+
+    def test_round_robin_over_proposers(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        world.start()
+        proposers = set()
+        for _ in range(6):
+            value = deployment.multicast("g", "x", 64)
+            proposers.add(value.proposer)
+        assert proposers == {"a", "b", "c"}
+
+    def test_unknown_node_and_ring_lookups_raise(self, world):
+        from repro.errors import ConfigurationError
+
+        deployment = Deployment(world)
+        with pytest.raises(ConfigurationError):
+            deployment.node("ghost")
+        with pytest.raises(ConfigurationError):
+            deployment.ring("ghost")

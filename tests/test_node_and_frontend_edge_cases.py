@@ -1,0 +1,136 @@
+"""Edge-case tests for hosts, roles and recovery wiring not covered elsewhere."""
+
+import pytest
+
+from repro.config import MultiRingConfig
+from repro.errors import ConsensusError, MulticastError
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.multiring.node import MultiRingNode
+from repro.ringpaxos.node import RingHost
+from repro.sim.world import World
+
+
+class TestRingHostRouting:
+    def test_unknown_message_type_goes_to_on_other_message(self, world):
+        from repro.coordination.registry import Registry
+
+        seen = []
+
+        class Custom(RingHost):
+            def on_other_message(self, sender, payload):
+                seen.append(payload)
+
+        registry = Registry()
+        host = Custom(world, registry, "h1")
+        RingHost(world, registry, "h2")
+        world.start()
+        world.process("h2").send("h1", {"kind": "custom"}, size_bytes=10)
+        world.run(until=0.5)
+        assert seen == [{"kind": "custom"}]
+
+    def test_registered_handler_takes_priority(self, world):
+        from repro.coordination.registry import Registry
+
+        seen = []
+        registry = Registry()
+        host = RingHost(world, registry, "h1")
+        RingHost(world, registry, "h2")
+        host.register_handler(dict, lambda sender, payload: seen.append((sender, payload)))
+        world.start()
+        world.process("h2").send("h1", {"x": 1}, size_bytes=10)
+        world.run(until=0.5)
+        assert seen == [("h2", {"x": 1})]
+
+    def test_role_lookup_for_unknown_group_raises(self, world):
+        from repro.coordination.registry import Registry
+
+        host = RingHost(world, Registry(), "h1")
+        with pytest.raises(MulticastError):
+            host.role("nope")
+
+    def test_join_ring_is_idempotent(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        node = deployment.node("a")
+        assert node.join_ring("g") is node.role("g")
+
+    def test_ring_role_requires_membership(self, world):
+        from repro.coordination.registry import Registry
+        from repro.ringpaxos.role import RingRole
+
+        registry = Registry()
+        registry.register_ring("g", ["a", "b"], proposers=["a"], acceptors=["a", "b"], learners=["b"])
+        outsider = RingHost(world, registry, "outsider")
+        with pytest.raises(ConsensusError):
+            RingRole(outsider, registry.ring("g"))
+
+
+class TestMultiRingNodeBehaviour:
+    def test_plain_node_is_not_paused_after_recovery(self, world):
+        """Nodes without a recovery manager do not stay paused after a restart.
+
+        They do, however, lose their delivery cursor: without the recovery
+        protocol they cannot fill the gap of instances consumed before the
+        crash, so the application must fast-forward explicitly (that is
+        exactly the job :class:`ReplicaRecovery` automates for replicas).
+        """
+        # Rate leveling is disabled so that instance numbers stay dense and the
+        # manual fast-forward below is easy to compute.
+        deployment = Deployment(world, MultiRingConfig.datacenter(rate_leveling=False))
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c", "L"], learners=["L"],
+                                     acceptors=["a", "b", "c"], proposers=["a"]))
+        learner = deployment.node("L")
+        delivered = []
+        learner.on_deliver(lambda d: delivered.append(d.value.payload))
+        world.start()
+        deployment.multicast("g", "before", 64)
+        world.run(until=0.2)
+        learner.crash()
+        learner.recover()
+        assert not learner.merge.paused
+        assert learner.delivery_cursor() == {"g": 0}
+        # Skip the instance lost in the crash, as a recovery manager would.
+        learner.fast_forward({"g": 1})
+        deployment.multicast("g", "after", 64)
+        world.run(until=0.6)
+        assert "after" in delivered
+
+    def test_skip_statistics_empty_for_non_coordinator(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        assert deployment.node("b").skip_statistics() == {}
+        assert "g" in deployment.node("a").skip_statistics()
+
+    def test_delivery_cursor_starts_at_zero(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        assert deployment.node("a").delivery_cursor() == {"g": 0}
+
+    def test_fast_forward_marks_ring_roles_learned(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        node = deployment.node("a")
+        node.fast_forward({"g": 10})
+        assert node.delivery_cursor() == {"g": 10}
+        assert node.role("g").highest_learned == 9
+
+    def test_wan_sites_are_respected(self, wan_world):
+        deployment = Deployment(wan_world, MultiRingConfig.wide_area())
+        deployment.add_ring(
+            RingSpec(group="g", members=["a", "b", "c"]),
+            sites={"a": "eu-west-1", "b": "us-east-1", "c": "us-west-2"},
+        )
+        assert wan_world.network.site_of("a") == "eu-west-1"
+        assert wan_world.network.site_of("c") == "us-west-2"
+
+    def test_proposal_from_non_coordinator_travels_to_coordinator(self, world):
+        deployment = Deployment(world)
+        deployment.add_ring(RingSpec(group="g", members=["a", "b", "c"]))
+        delivered = []
+        deployment.node("c").on_deliver(lambda d: delivered.append(d.value.payload))
+        world.start()
+        # "c" is not the coordinator ("a" is, as first acceptor in ring order).
+        deployment.node("c").multicast("g", "via-c", 64)
+        world.run(until=0.5)
+        assert delivered == ["via-c"]
+        assert deployment.node("a").role("g").values_proposed == 1

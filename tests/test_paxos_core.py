@@ -1,0 +1,194 @@
+"""Tests for ballots, acceptor records, the stable log and single-decree Paxos."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.paxos.single_decree import run_single_decree
+from repro.paxos.storage import AcceptorStorage
+from repro.paxos.types import Ballot, InstanceRecord
+from repro.sim.disk import StorageMode
+from repro.sim.engine import Simulator
+from repro.sim.world import World
+from repro.types import Value, skip_value
+
+
+class TestBallot:
+    def test_ordering_by_number_then_coordinator(self):
+        assert Ballot(1, "a") < Ballot(2, "a")
+        assert Ballot(1, "a") < Ballot(1, "b")
+        assert Ballot(2, "a") > Ballot(1, "z")
+
+    def test_next_increments_number(self):
+        ballot = Ballot(1, "a")
+        assert ballot.next() == Ballot(2, "a")
+        assert ballot.next("b") == Ballot(2, "b")
+
+    def test_zero_is_smallest(self):
+        assert Ballot.zero() < Ballot(1, "")
+        assert Ballot.zero() < Ballot(0, "a")
+
+
+class TestInstanceRecord:
+    def test_promise_then_accept(self):
+        record = InstanceRecord(0)
+        ballot = Ballot(1, "c")
+        assert record.can_promise(ballot)
+        record.promise(ballot)
+        assert record.promised == ballot
+        assert record.can_accept(ballot)
+        record.accept(ballot, Value.create("v", 10))
+        assert record.accepted_ballot == ballot
+
+    def test_cannot_promise_lower_ballot(self):
+        record = InstanceRecord(0)
+        record.promise(Ballot(5, "c"))
+        assert not record.can_promise(Ballot(4, "c"))
+        with pytest.raises(ValueError):
+            record.promise(Ballot(4, "c"))
+
+    def test_cannot_accept_below_promise(self):
+        record = InstanceRecord(0)
+        record.promise(Ballot(5, "c"))
+        with pytest.raises(ValueError):
+            record.accept(Ballot(4, "c"), Value.create("v", 10))
+
+    def test_accept_raises_promise_level(self):
+        record = InstanceRecord(0)
+        record.accept(Ballot(3, "c"), Value.create("v", 10))
+        assert record.promised == Ballot(3, "c")
+
+
+class TestAcceptorStorage:
+    def _storage(self, mode=StorageMode.MEMORY):
+        return AcceptorStorage(Simulator(), mode=mode)
+
+    def test_log_vote_and_read_back(self):
+        storage = self._storage()
+        value = Value.create("v", 100)
+        storage.log_vote(3, Ballot(1, "c"), value)
+        assert storage.accepted_value(3) is value
+        assert storage.highest_instance == 3
+        assert storage.has_instance(3)
+        assert len(storage) == 1
+
+    def test_read_range_returns_only_existing_votes(self):
+        storage = self._storage()
+        for instance in (1, 2, 5):
+            storage.log_vote(instance, Ballot(1, "c"), Value.create(f"v{instance}", 10))
+        entries = storage.read_range(0, 10)
+        assert [instance for instance, _ in entries] == [1, 2, 5]
+
+    def test_log_votes_range_records_every_instance(self):
+        storage = self._storage()
+        storage.log_votes_range(10, 5, Ballot(1, "c"), skip_value())
+        assert [i for i, _ in storage.read_range(10, 14)] == [10, 11, 12, 13, 14]
+        assert storage.highest_instance == 14
+
+    def test_trim_removes_instances_and_blocks_reads(self):
+        storage = self._storage()
+        for instance in range(6):
+            storage.log_vote(instance, Ballot(1, "c"), Value.create("v", 10))
+        removed = storage.trim(3)
+        assert removed == 4
+        assert storage.trimmed_up_to == 3
+        assert storage.is_trimmed(2)
+        with pytest.raises(StorageError):
+            storage.accepted_value(2)
+        with pytest.raises(StorageError):
+            storage.read_range(0, 5)
+        # Instances above the trim point remain readable.
+        assert [i for i, _ in storage.read_range(4, 5)] == [4, 5]
+
+    def test_recording_into_trimmed_range_rejected(self):
+        storage = self._storage()
+        storage.log_vote(0, Ballot(1, "c"), Value.create("v", 10))
+        storage.trim(0)
+        with pytest.raises(StorageError):
+            storage.log_vote(0, Ballot(2, "c"), Value.create("v2", 10))
+
+    def test_sync_disk_mode_delays_callback(self):
+        sim = Simulator()
+        storage = AcceptorStorage(sim, mode=StorageMode.SYNC_HDD)
+        times = []
+        storage.log_vote(0, Ballot(1, "c"), Value.create("v", 1024), callback=lambda: times.append(sim.now))
+        sim.run()
+        assert times and times[0] >= 5e-3
+
+    def test_memory_mode_callback_immediate(self):
+        sim = Simulator()
+        storage = AcceptorStorage(sim, mode=StorageMode.MEMORY)
+        times = []
+        storage.log_vote(0, Ballot(1, "c"), Value.create("v", 1024), callback=lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.0]
+
+    def test_log_size_accounting(self):
+        storage = self._storage()
+        storage.log_vote(0, Ballot(1, "c"), Value.create("v", 1000))
+        assert storage.log_size_bytes() >= 1000
+        assert storage.bytes_logged >= 1000
+        assert storage.writes == 1
+
+    def test_mark_decided(self):
+        storage = self._storage()
+        storage.log_vote(0, Ballot(1, "c"), Value.create("v", 10))
+        storage.mark_decided(0)
+        assert storage.record(0).decided
+        storage.mark_decided(99)  # unknown instance: no error
+
+
+class TestSingleDecreePaxos:
+    def test_single_proposer_decides_its_value(self):
+        world = World(seed=1)
+        value = Value.create("the-value", 64)
+        outcomes = run_single_decree(
+            world,
+            proposer_values={"p1": value},
+            acceptor_names=["a1", "a2", "a3"],
+            learner_names=["l1", "l2"],
+        )
+        assert outcomes["l1"] is not None
+        assert outcomes["l1"].payload == "the-value"
+        assert outcomes["l2"].payload == "the-value"
+
+    def test_concurrent_proposers_agree_on_one_value(self):
+        world = World(seed=2)
+        outcomes = run_single_decree(
+            world,
+            proposer_values={
+                "p1": Value.create("from-p1", 64),
+                "p2": Value.create("from-p2", 64),
+            },
+            acceptor_names=["a1", "a2", "a3"],
+            learner_names=["l1", "l2", "l3"],
+        )
+        decided = {name: value.payload for name, value in outcomes.items() if value is not None}
+        assert decided, "at least one learner must decide"
+        assert len(set(decided.values())) == 1, "learners must agree"
+        assert set(decided.values()) <= {"from-p1", "from-p2"}, "validity"
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        proposer_count=st.integers(min_value=1, max_value=3),
+        acceptor_count=st.sampled_from([3, 5]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_agreement_and_validity_hold_for_random_configurations(
+        self, proposer_count, acceptor_count, seed
+    ):
+        world = World(seed=seed)
+        proposer_values = {
+            f"p{i}": Value.create(f"value-{i}", 64) for i in range(proposer_count)
+        }
+        outcomes = run_single_decree(
+            world,
+            proposer_values=proposer_values,
+            acceptor_names=[f"a{i}" for i in range(acceptor_count)],
+            learner_names=["l1", "l2"],
+            duration=10.0,
+        )
+        decided = [value.payload for value in outcomes.values() if value is not None]
+        assert decided, "liveness: some learner decides after GST"
+        assert len(set(decided)) == 1
+        assert set(decided) <= {f"value-{i}" for i in range(proposer_count)}

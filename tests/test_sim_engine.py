@@ -1,0 +1,155 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(3.0, lambda: order.append("latest"))
+        sim.run()
+        assert order == ["early", "late", "latest"]
+
+    def test_ties_break_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for index in range(5):
+            sim.schedule(1.0, lambda i=index: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_callback_arguments_are_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.1, lambda a, b=None: seen.append((a, b)), 1, b="x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+    def test_events_scheduled_during_execution_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.5, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 1.5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(True))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_none_is_a_noop(self):
+        Simulator().cancel(None)
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert sim.processed_events == 0
+
+    def test_peek_time_skips_cancelled_events(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run(until=2.0)
+        sim.schedule(1.0, lambda: None)
+        sim.run_for(0.5)
+        assert sim.now == 2.5
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            sim.schedule(float(index + 1), lambda i=index: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_idle(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.1, nested)
+        sim.run()

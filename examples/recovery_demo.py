@@ -45,7 +45,7 @@ def main() -> None:
     store.load(1000, value_size=1024)
 
     workload = UpdateWorkload(store, list(range(1000)), value_size=1024, series="updates")
-    ClosedLoopClient(
+    client = ClosedLoopClient(
         world, "client", workload, store.frontends_for_client(0), threads=8, series="updates"
     )
 
@@ -54,6 +54,11 @@ def main() -> None:
     FailureInjector(world, schedule).arm()
 
     world.run(until=END)
+    # Quiesce before comparing replica states: stop the client and let the
+    # in-flight commands drain, otherwise the comparison races live traffic
+    # (replicas can transiently differ by a few not-yet-merged instances).
+    client.crash()
+    world.run(until=END + 2.0)
 
     monitor = world.monitor
     survivor = store.replicas_of("p0")[0]

@@ -1,12 +1,27 @@
-"""Setuptools shim.
+"""Setuptools packaging.
 
-Packaging metadata lives in ``setup.cfg``.  The project deliberately ships no
-``pyproject.toml`` because the reproduction environment is offline: pip's
-PEP 517 build isolation would try to download setuptools/wheel and fail,
-whereas the legacy ``setup.py``/``setup.cfg`` path installs with whatever is
-already on the machine.
+All metadata lives here (not in a ``pyproject.toml``) because the
+reproduction environment is offline: pip's PEP 517 build isolation would try
+to download setuptools/wheel and fail, whereas the legacy ``setup.py`` path
+installs with whatever is already on the machine.  The ``pytest.ini`` at the
+repository root carries the test configuration.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="mrp-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Building global and scalable systems with atomic "
+        "multicast' (Middleware 2014) on a deterministic simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.bench.__main__:main",
+        ]
+    },
+)

@@ -2,92 +2,22 @@
 
 Examples::
 
-    python -m repro.bench figure3                # reduced scale (quick)
-    python -m repro.bench figure7 --scale paper  # paper-scale parameters
-    python -m repro.bench all                    # every figure, reduced scale
+    python -m repro.bench figure3                 # reduced scale (quick)
+    python -m repro.bench figure7 --scale paper   # paper-scale parameters
+    python -m repro.bench reconfig --scale smoke  # live scale-out, tiny run
+    python -m repro.bench all                     # every experiment, quick
+
+Installed as the ``repro-bench`` console script by ``setup.py``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
-from repro.bench.ablations import run_merge_granularity_ablation, run_rate_leveling_ablation
-from repro.bench.figure3 import run_figure3
-from repro.bench.figure4 import run_figure4
-from repro.bench.figure5 import run_figure5
-from repro.bench.figure6 import run_figure6
-from repro.bench.figure7 import run_figure7
-from repro.bench.figure8 import run_figure8
+from repro.bench.harness import EXPERIMENTS, SCALES, run_experiment
 
 __all__ = ["main"]
-
-
-def _figure3(scale: str) -> Dict:
-    if scale == "paper":
-        return run_figure3(duration=30.0)
-    return run_figure3(value_sizes=(512, 8192, 32768), duration=5.0)
-
-
-def _figure4(scale: str) -> Dict:
-    if scale == "paper":
-        return run_figure4(record_count=100000, client_threads=100, duration=30.0)
-    return run_figure4(record_count=3000, client_threads=32, client_machines=2, duration=5.0)
-
-
-def _figure5(scale: str) -> Dict:
-    if scale == "paper":
-        return run_figure5(duration=20.0)
-    return run_figure5(client_counts=(1, 50, 200), duration=5.0)
-
-
-def _figure6(scale: str) -> Dict:
-    if scale == "paper":
-        return run_figure6(duration=20.0, clients_per_ring=40)
-    return run_figure6(ring_counts=(1, 2, 3), duration=5.0, clients_per_ring=10)
-
-
-def _figure7(scale: str) -> Dict:
-    if scale == "paper":
-        return run_figure7(duration=60.0, clients_per_region=40)
-    return run_figure7(region_counts=(1, 2, 4), duration=10.0, clients_per_region=10)
-
-
-def _figure8(scale: str) -> Dict:
-    if scale == "paper":
-        return run_figure8(duration=300.0)
-    return run_figure8(
-        duration=60.0,
-        crash_at=10.0,
-        recover_at=40.0,
-        checkpoint_interval=8.0,
-        trim_interval=15.0,
-        client_threads=8,
-        record_count=500,
-    )
-
-
-def _ablations(scale: str) -> Dict:
-    leveling = run_rate_leveling_ablation(duration=5.0 if scale != "paper" else 20.0)
-    granularity = run_merge_granularity_ablation(duration=5.0 if scale != "paper" else 20.0)
-    return {
-        "experiment": "ablations",
-        "rate_leveling": leveling,
-        "merge_granularity": granularity,
-        "report": leveling["report"] + "\n\n" + granularity["report"],
-    }
-
-
-_RUNNERS: Dict[str, Callable[[str], Dict]] = {
-    "figure3": _figure3,
-    "figure4": _figure4,
-    "figure5": _figure5,
-    "figure6": _figure6,
-    "figure7": _figure7,
-    "figure8": _figure8,
-    "ablations": _ablations,
-}
 
 
 def main(argv=None) -> int:
@@ -96,21 +26,24 @@ def main(argv=None) -> int:
         description="Regenerate the paper's evaluation figures on the simulator.",
     )
     parser.add_argument(
-        "figure",
-        choices=sorted(_RUNNERS) + ["all"],
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
         help="which experiment to run",
     )
     parser.add_argument(
         "--scale",
-        choices=["quick", "paper"],
+        choices=list(SCALES),
         default="quick",
-        help="quick = reduced parameters (seconds); paper = the paper's parameters (minutes)",
+        help=(
+            "smoke = CI-sized run (seconds); quick = reduced parameters; "
+            "paper = the paper's parameters (minutes)"
+        ),
     )
     args = parser.parse_args(argv)
 
-    names = sorted(_RUNNERS) if args.figure == "all" else [args.figure]
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = _RUNNERS[name](args.scale)
+        result = run_experiment(name, scale=args.scale)
         print(result["report"])
         print()
     return 0

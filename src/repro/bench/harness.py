@@ -17,6 +17,7 @@ from repro.bench.figure5 import run_figure5
 from repro.bench.figure6 import run_figure6
 from repro.bench.figure7 import run_figure7
 from repro.bench.figure8 import run_figure8
+from repro.bench.reconfig import run_reconfig
 
 __all__ = ["run_experiment", "EXPERIMENTS", "SCALES"]
 
@@ -116,6 +117,36 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 paper={"duration": 300.0},
             )
         )
+    if name == "reconfig":
+        return run_reconfig(
+            **_params(
+                scale,
+                smoke={
+                    "duration": 8.0,
+                    "reconfig_at": 3.0,
+                    "settle": 2.0,
+                    "record_count": 300,
+                    "client_threads": 4,
+                    "client_machines": 1,
+                },
+                quick={
+                    "duration": 12.0,
+                    "reconfig_at": 4.0,
+                    "settle": 3.0,
+                    "record_count": 600,
+                    "client_threads": 8,
+                    "client_machines": 2,
+                },
+                paper={
+                    "duration": 60.0,
+                    "reconfig_at": 20.0,
+                    "settle": 10.0,
+                    "record_count": 5000,
+                    "client_threads": 32,
+                    "client_machines": 4,
+                },
+            )
+        )
     if name == "ablations":
         duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
         leveling = run_rate_leveling_ablation(duration=duration)
@@ -129,4 +160,13 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
     raise ValueError(f"unknown experiment {name!r}")
 
 
-EXPERIMENTS = ("figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "ablations")
+EXPERIMENTS = (
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "ablations",
+    "reconfig",
+)

@@ -120,14 +120,22 @@ class Deployment:
         spec: RingSpec,
         sites: Optional[Dict[str, str]] = None,
         ring_config: Optional[RingConfig] = None,
+        defer_learners: Optional[Sequence[str]] = None,
     ) -> RingDescriptor:
         """Register and wire the ring described by ``spec``.
 
         Missing member nodes are created on the fly (placed on ``sites`` when
         given).  Returns the ring descriptor.
+
+        ``defer_learners`` names learners that join the ring but do not yet
+        deliver from it: their merge splice happens later, at the round
+        boundary agreed through the reconfiguration subsystem.  Used when a
+        ring is added to a *running* deployment whose learners already
+        subscribe to other rings.
         """
         if spec.group in self.rings:
             raise ConfigurationError(f"ring {spec.group!r} already exists")
+        deferred = set(defer_learners or ())
         acceptors = spec.resolved_acceptors()
         descriptor = self.registry.register_ring(
             spec.group,
@@ -149,7 +157,12 @@ class Deployment:
                 disk = shared_disk if spec.share_disk else disk_for_mode(self.world.sim, spec.storage_mode)
                 if disk is not None:
                     disks[member] = disk
-            node.join_ring(spec.group, ring_config=config, disk=disk)
+            node.join_ring(
+                spec.group,
+                ring_config=config,
+                disk=disk,
+                defer_subscribe=member in deferred,
+            )
         self.rings[spec.group] = descriptor
         self.ring_specs[spec.group] = spec
         self._ring_disks[spec.group] = disks

@@ -16,6 +16,16 @@ the application.
 The merge also exposes the *delivery cursor* -- for every group, the next
 consensus instance to deliver -- which is precisely the checkpoint tuple
 ``k_p`` used by the recovery protocol (Section 5.2, Predicate 1).
+
+Subscription sets are **versioned**, not static: the reconfiguration
+subsystem (:mod:`repro.reconfig`) splices new rings into the merge at an
+agreed *round boundary*.  A group registered with
+:meth:`add_pending_group` buffers decisions without delivering them; once
+:meth:`set_join_round` fixes its join round ``R``, the group participates in
+the round-robin from round ``R`` onwards, delivering from its instance 0.
+Because the join round is derived from the position of a reconfiguration
+command in the delivery sequence itself, every learner of a partition splices
+the ring at exactly the same point and determinism is preserved.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ class DeterministicMerge:
         groups: Sequence[GroupId],
         m: int = 1,
         deliver: Optional[Callable[[Delivery], None]] = None,
+        join_rounds: Optional[Dict[GroupId, Optional[int]]] = None,
     ) -> None:
         if m < 1:
             raise MulticastError("the merge granularity M must be at least 1")
@@ -55,8 +66,24 @@ class DeterministicMerge:
         self._deliver = deliver
         self._buffers: Dict[GroupId, Dict[InstanceId, Value]] = {g: {} for g in self._groups}
         self._next_instance: Dict[GroupId, InstanceId] = {g: 0 for g in self._groups}
+        #: Round at which each group joined the round-robin.  ``None`` marks a
+        #: *pending* group: decisions are buffered but never delivered until a
+        #: join round is fixed with :meth:`set_join_round`.
+        self._join_round: Dict[GroupId, Optional[int]] = {g: 0 for g in self._groups}
+        if join_rounds:
+            for group, round_ in join_rounds.items():
+                if group not in self._buffers:
+                    self._groups = sorted(self._groups + [group])
+                    self._buffers[group] = {}
+                    self._next_instance[group] = 0
+                self._join_round[group] = round_
+        self._round = 0
         self._round_index = 0
         self._delivered_in_round = 0
+        self._active_cache: Optional[List[GroupId]] = None
+        #: Bumped on every subscription-set change (add/splice); lets nodes and
+        #: the registry track which configuration epoch a learner runs.
+        self.subscription_version = 0
         self.delivered_count = 0
         self.skipped_count = 0
         self.deliveries: List[Delivery] = []
@@ -67,24 +94,84 @@ class DeterministicMerge:
         #: Used during replica recovery: live decisions keep arriving while
         #: the checkpoint is being installed and must not be applied early.
         self.paused = False
+        # Re-entrancy guard: delivery callbacks (e.g. splice activation) may
+        # call back into advance(); the outer loop picks up the new state.
+        self._advancing = False
 
     # ------------------------------------------------------------------
     # configuration
     # ------------------------------------------------------------------
     @property
     def groups(self) -> List[GroupId]:
+        """Every known group, including pending (not yet spliced) ones."""
         return list(self._groups)
+
+    @property
+    def active_groups(self) -> List[GroupId]:
+        """Groups participating in the round-robin at the current round."""
+        return list(self._active())
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def join_round(self, group: GroupId) -> Optional[int]:
+        return self._join_round[group]
+
+    def subscription_schedule(self) -> Dict[GroupId, Optional[int]]:
+        """``group -> join round`` (``None`` for pending groups)."""
+        return dict(self._join_round)
 
     def add_group(self, group: GroupId) -> None:
         """Subscribe to an additional group (only before any delivery from it)."""
-        if group in self._groups:
+        if group in self._join_round and self._join_round[group] is not None:
             return
-        self._groups = sorted(self._groups + [group])
-        self._buffers.setdefault(group, {})
-        self._next_instance.setdefault(group, 0)
+        self._register(group, self._round)
         # Restart the round-robin deterministically from the first group.
         self._round_index = 0
         self._delivered_in_round = 0
+
+    def add_pending_group(self, group: GroupId) -> None:
+        """Start buffering ``group``'s decisions without delivering them.
+
+        Used while a ring is being added live: the learner already receives
+        decisions from the new ring, but delivery only starts at the splice
+        round agreed through :meth:`set_join_round`.
+        """
+        if group in self._buffers:
+            return
+        self._register(group, None)
+
+    def set_join_round(self, group: GroupId, round_: int) -> None:
+        """Fix the round at which a pending ``group`` enters the round-robin."""
+        if group not in self._buffers:
+            self._register(group, round_)
+        existing = self._join_round[group]
+        if existing is not None:
+            if existing != round_:
+                raise MulticastError(
+                    f"group {group!r} already joined at round {existing}, "
+                    f"cannot re-join at round {round_}"
+                )
+            return
+        if round_ <= self._round:
+            raise MulticastError(
+                f"group {group!r} cannot join at round {round_}: "
+                f"the merge is already at round {self._round}"
+            )
+        self._join_round[group] = round_
+        self._invalidate_active()
+        self.subscription_version += 1
+        self.advance()
+
+    def _register(self, group: GroupId, round_: Optional[int]) -> None:
+        if group not in self._buffers:
+            self._groups = sorted(self._groups + [group])
+            self._buffers[group] = {}
+            self._next_instance[group] = 0
+        self._join_round[group] = round_
+        self._invalidate_active()
+        self.subscription_version += 1
 
     def set_deliver_callback(self, deliver: Callable[[Delivery], None]) -> None:
         self._deliver = deliver
@@ -113,13 +200,42 @@ class DeterministicMerge:
         self.paused = False
         return self.advance()
 
+    def _invalidate_active(self) -> None:
+        self._active_cache = None
+
+    def _active(self) -> List[GroupId]:
+        if self._active_cache is None:
+            self._active_cache = [
+                g
+                for g in self._groups
+                if self._join_round[g] is not None and self._join_round[g] <= self._round
+            ]
+        return self._active_cache
+
     def advance(self) -> int:
         """Deliver everything currently deliverable; return how many instances advanced."""
-        if not self._groups or self.paused:
+        if self.paused or self._advancing:
             return 0
+        self._advancing = True
+        try:
+            return self._advance_loop()
+        finally:
+            self._advancing = False
+
+    def _advance_loop(self) -> int:
         advanced = 0
         while True:
-            group = self._groups[self._round_index]
+            active = self._active()
+            if not active:
+                break
+            if self._round_index >= len(active):
+                # Defensive: the active set shrank (cannot happen today, groups
+                # never leave mid-round); realign at the next round boundary.
+                self._round_index = 0
+                self._round += 1
+                self._invalidate_active()
+                continue
+            group = active[self._round_index]
             buffer = self._buffers[group]
             instance = self._next_instance[group]
             if instance not in buffer:
@@ -139,19 +255,29 @@ class DeterministicMerge:
             self._delivered_in_round += 1
             if self._delivered_in_round >= self.m:
                 self._delivered_in_round = 0
-                self._round_index = (self._round_index + 1) % len(self._groups)
+                self._round_index += 1
+                if self._round_index >= len(active):
+                    self._round_index = 0
+                    self._round += 1
+                    self._invalidate_active()
         return advanced
 
     # ------------------------------------------------------------------
     # recovery support
     # ------------------------------------------------------------------
     def delivery_cursor(self) -> Dict[GroupId, InstanceId]:
-        """For each group, the next instance that will be delivered.
+        """For each active group, the next instance that will be delivered.
 
         A checkpoint taken now is identified by this tuple: it reflects the
         effect of every instance strictly below the cursor, per group.
+        Pending groups (registered but not yet spliced) are excluded: no
+        instance of theirs has been delivered.
         """
-        return dict(self._next_instance)
+        return {
+            g: self._next_instance[g]
+            for g in self._groups
+            if self._join_round[g] is not None
+        }
 
     def next_instance(self, group: GroupId) -> InstanceId:
         return self._next_instance[group]
@@ -163,7 +289,7 @@ class DeterministicMerge:
         pointer is recomputed from the cursor so that the post-recovery
         delivery order is exactly the one a replica that never crashed would
         follow (Predicate 1 guarantees the cursor is a valid merge prefix:
-        ``x < y  =>  k[x] >= k[y]``).
+        ``x < y  =>  k[x] >= k[y]`` among groups with equal join rounds).
         """
         for group, instance in cursor.items():
             if group not in self._buffers:
@@ -181,28 +307,40 @@ class DeterministicMerge:
         self.advance()
 
     def _recompute_round_position(self) -> None:
-        """Derive ``(_round_index, _delivered_in_round)`` from the per-group cursor.
+        """Derive ``(_round, _round_index, _delivered_in_round)`` from the cursor.
 
-        The merge delivers M instances from group 0, then M from group 1, and
-        so on; therefore any reachable cursor has the shape "a prefix of groups
-        finished round r, one group is partway through it, the rest have not
-        started it".  The current round is ``min(cursor) // M`` and the active
-        group is the first one that has not finished that round.
+        A group ``g`` that joined at round ``R_g`` and whose next instance is
+        ``n_g`` has completed ``R_g + n_g // M`` rounds; the merge's current
+        round is the minimum over the non-pending groups.  Within that round,
+        the active group is the first (in identifier order) that has not
+        finished its M instances of the round.
         """
-        if not self._groups:
+        scheduled = [g for g in self._groups if self._join_round[g] is not None]
+        if not scheduled:
+            self._round = 0
             self._round_index = 0
             self._delivered_in_round = 0
+            self._invalidate_active()
             return
-        round_number = min(self._next_instance[g] for g in self._groups) // self.m
-        for index, group in enumerate(self._groups):
-            if self._next_instance[group] < (round_number + 1) * self.m:
+        self._round = min(
+            self._join_round[g] + self._next_instance[g] // self.m for g in scheduled
+        )
+        self._invalidate_active()
+        active = self._active()
+        for index, group in enumerate(active):
+            done_in_round = self._next_instance[group] - (
+                self._round - self._join_round[group]
+            ) * self.m
+            if done_in_round < self.m:
                 self._round_index = index
-                self._delivered_in_round = self._next_instance[group] - round_number * self.m
+                self._delivered_in_round = done_in_round
                 return
-        # Every group finished round ``round_number`` (only possible when the
-        # cursor is exactly at a round boundary): start the next round.
+        # Every active group finished the round (only possible when the cursor
+        # is exactly at a round boundary): start the next round.
+        self._round += 1
         self._round_index = 0
         self._delivered_in_round = 0
+        self._invalidate_active()
 
     def pending(self, group: GroupId) -> int:
         """Number of buffered (decided but not yet deliverable) instances for ``group``."""

@@ -23,6 +23,7 @@ from repro.coordination.registry import Registry
 from repro.errors import MulticastError
 from repro.multiring.leveling import RateLeveler
 from repro.multiring.merge import Delivery, DeterministicMerge
+from repro.reconfig.commands import ControlCommand, ProposeControl, SpliceRing
 from repro.ringpaxos.node import RingHost
 from repro.ringpaxos.role import RingRole
 from repro.sim.cpu import CPUConfig
@@ -52,10 +53,21 @@ class MultiRingNode(RingHost):
         self.merge = DeterministicMerge(groups=[], m=self.config.m, deliver=self._on_merged_delivery)
         self.merge.keep_history = False
         self._delivery_callbacks: List[DeliveryCallback] = []
+        self._control_callbacks: List[DeliveryCallback] = []
         self._levelers: Dict[GroupId, RateLeveler] = {}
         self._subscribed: List[GroupId] = []
+        #: Subscription schedule: group -> round at which it entered (or will
+        #: enter) this learner's merge; ``None`` while a splice is pending.
+        #: Survives crashes (in a real system it lives in the registry) so the
+        #: merge can be rebuilt with the same round structure.
+        self._join_rounds: Dict[GroupId, Optional[int]] = {}
         self.add_decision_sink(self._on_ring_decision)
+        self.register_handler(ProposeControl, self._on_propose_control)
         self.deliveries_count = 0
+        self.control_deliveries_count = 0
+        # True once on_start armed the leveling timers; lets join_ring tell a
+        # running node joining a new ring apart from a not-yet-started node.
+        self._leveling_started = False
         #: Set by the recovery manager: hold deliveries after a restart until
         #: a checkpoint has been installed.  Nodes without a recovery manager
         #: simply resume delivering from instance 0.
@@ -69,12 +81,28 @@ class MultiRingNode(RingHost):
         group: GroupId,
         ring_config: Optional[RingConfig] = None,
         disk: Optional[Disk] = None,
+        defer_subscribe: bool = False,
     ) -> RingRole:
+        """Take up this node's roles in ``group``'s ring.
+
+        With ``defer_subscribe`` a learner joins the ring (decisions start
+        being buffered) but does not yet deliver from it: the merge splice
+        happens later, at the round boundary agreed through a
+        :class:`~repro.reconfig.commands.SpliceRing` control command.
+        """
         role = super().join_ring(group, ring_config or self.config.ring, disk=disk)
-        if role.is_coordinator:
+        if role.is_coordinator and group not in self._levelers:
             self._levelers[group] = RateLeveler(role, self.config)
+            if self._leveling_started:
+                # This node is already running and joined a new ring: arm the
+                # leveling timer now.  (A node *created* at runtime instead has
+                # its on_start pending, which arms every leveler exactly once.)
+                self.set_periodic_timer(self.config.delta, self._levelers[group].on_interval)
         if role.is_learner:
-            self._subscribe_group(group)
+            if defer_subscribe:
+                self._prepare_splice(group)
+            else:
+                self._subscribe_group(group)
         return role
 
     def _subscribe_group(self, group: GroupId) -> None:
@@ -82,12 +110,46 @@ class MultiRingNode(RingHost):
             return
         self._subscribed.append(group)
         self.merge.add_group(group)
+        self._join_rounds[group] = self.merge.join_round(group)
         self.registry.subscribe(self.name, [group])
+
+    def _prepare_splice(self, group: GroupId) -> None:
+        """Buffer decisions from ``group`` without delivering (splice pending)."""
+        if group in self._subscribed or group in self._join_rounds:
+            return
+        self.merge.add_pending_group(group)
+        self._join_rounds[group] = None
+
+    def activate_splice(self, group: GroupId) -> int:
+        """Splice a pending ``group`` into the merge at the next round boundary.
+
+        Called when the :class:`~repro.reconfig.commands.SpliceRing` control
+        command is delivered; the boundary is derived from the merge position
+        at that delivery, so all learners of a partition pick the same round.
+        Returns the join round.
+        """
+        if group in self._subscribed:
+            return self._join_rounds[group]  # type: ignore[return-value]
+        if group not in self._join_rounds:
+            raise MulticastError(
+                f"{self.name} cannot splice {group!r}: it never joined that ring"
+            )
+        join_round = self.merge.current_round + 1
+        self.merge.set_join_round(group, join_round)
+        self._join_rounds[group] = join_round
+        self._subscribed.append(group)
+        self.registry.subscribe(self.name, [group])
+        return join_round
 
     @property
     def subscriptions(self) -> List[GroupId]:
         """Groups this node delivers from, in group-identifier order."""
         return sorted(self._subscribed)
+
+    @property
+    def pending_subscriptions(self) -> List[GroupId]:
+        """Groups joined with a deferred subscription (splice not yet agreed)."""
+        return sorted(g for g, r in self._join_rounds.items() if r is None)
 
     # ------------------------------------------------------------------
     # multicast API
@@ -104,6 +166,10 @@ class MultiRingNode(RingHost):
         """Register the application-level delivery callback (``deliver(m)``)."""
         self._delivery_callbacks.append(callback)
 
+    def on_control(self, callback: DeliveryCallback) -> None:
+        """Register a callback for delivered reconfiguration control commands."""
+        self._control_callbacks.append(callback)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -112,15 +178,39 @@ class MultiRingNode(RingHost):
             self.merge.on_decision(group, instance, value)
 
     def _on_merged_delivery(self, delivery: Delivery) -> None:
+        if isinstance(delivery.value.payload, ControlCommand):
+            self._on_control_delivery(delivery)
+            return
         self.deliveries_count += 1
         for callback in self._delivery_callbacks:
             callback(delivery)
+
+    def _on_control_delivery(self, delivery: Delivery) -> None:
+        """Handle a reconfiguration control command at its agreed position."""
+        self.control_deliveries_count += 1
+        payload = delivery.value.payload
+        if isinstance(payload, SpliceRing):
+            if self.name in payload.learners and payload.group in self._join_rounds:
+                self.activate_splice(payload.group)
+        for callback in self._control_callbacks:
+            callback(delivery)
+
+    def _on_propose_control(self, sender: str, msg: ProposeControl) -> None:
+        """Multicast a control payload on behalf of a non-member (controller)."""
+        role = self.roles.get(msg.group)
+        if role is None or not (role.is_proposer or role.is_coordinator):
+            return
+        size = msg.payload_bytes
+        if size is None:
+            size = getattr(msg.payload, "size_bytes", 256)
+        self.multicast(msg.group, msg.payload, size)
 
     # ------------------------------------------------------------------
     # rate leveling
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         super().on_start()
+        self._leveling_started = True
         for group, leveler in self._levelers.items():
             self.set_periodic_timer(self.config.delta, leveler.on_interval)
 
@@ -152,9 +242,15 @@ class MultiRingNode(RingHost):
         super().on_crash()
         # Everything the learner holds in memory is gone: the merge buffers,
         # its cursor, and the roles' learned-instance bookkeeping.  Stable
-        # acceptor logs (handled in RingRole.on_host_crash) survive.
+        # acceptor logs (handled in RingRole.on_host_crash) survive.  The
+        # subscription schedule (which ring joined at which round) is restored
+        # from the node's configuration view so that the rebuilt merge has the
+        # same round structure as before the crash.
         self.merge = DeterministicMerge(
-            groups=self.subscriptions, m=self.config.m, deliver=self._on_merged_delivery
+            groups=self.subscriptions,
+            m=self.config.m,
+            deliver=self._on_merged_delivery,
+            join_rounds=dict(self._join_rounds),
         )
         self.merge.keep_history = False
 

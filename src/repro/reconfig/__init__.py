@@ -1,0 +1,41 @@
+"""Dynamic reconfiguration of a running Multi-Ring Paxos deployment.
+
+This package implements the runtime side of the ROADMAP's "scale by adding
+rings" goal: live ring membership changes and elastic re-partitioning of the
+MRP-Store, both layered on the atomic-multicast machinery itself (the
+reconfiguration commands are ordered by the very rings they reconfigure, so
+all replicas agree on the exact handoff points).
+
+Modules:
+
+* :mod:`repro.reconfig.commands` -- the control payloads circulated through
+  the rings (ring splices, migration prepare/install, forwarded commands);
+* :mod:`repro.reconfig.migration` -- the per-replica migration agent
+  executing key-range handoffs deterministically;
+* :mod:`repro.reconfig.elastic` -- MRP-Store-specific scale-out helpers
+  (add a ring, split partitions onto it);
+* :class:`repro.coordination.reconfig.ReconfigController` -- the
+  coordinator-side controller sequencing reconfigurations through the
+  registry (imported from :mod:`repro.coordination` to keep the control
+  plane with the rest of the coordination code).
+"""
+
+from repro.reconfig.commands import (
+    ControlCommand,
+    ForwardedCommand,
+    MigrationInstall,
+    MigrationPrepare,
+    ProposeControl,
+    SpliceRing,
+)
+from repro.reconfig.migration import MigrationAgent
+
+__all__ = [
+    "ControlCommand",
+    "ForwardedCommand",
+    "MigrationInstall",
+    "MigrationPrepare",
+    "ProposeControl",
+    "SpliceRing",
+    "MigrationAgent",
+]

@@ -39,6 +39,10 @@ class PartitionMap:
     #: Group carrying cross-partition commands, or ``None`` when the
     #: deployment runs "independent rings" (no global ordering).
     global_group: Optional[GroupId] = None
+    #: Epoch of the partitioning schema.  Bumped by every reconfiguration
+    #: (:meth:`split_partition`); replicas checkpoint it with their state and
+    #: front-ends route by the latest version published in the registry.
+    version: int = 0
 
     def __post_init__(self) -> None:
         if not self.partitions:
@@ -74,6 +78,59 @@ class PartitionMap:
         global_group: Optional[GroupId] = None,
     ) -> "PartitionMap":
         return cls(tuple(partitions), dict(groups), "range", tuple(bounds), global_group)
+
+    # ------------------------------------------------------------------
+    # reconfiguration (elastic re-partitioning)
+    # ------------------------------------------------------------------
+    def partition_range(self, partition: str) -> Tuple[str, Optional[str]]:
+        """``[lower, upper)`` key range of ``partition`` (range scheme only)."""
+        if self.scheme != "range":
+            raise PartitioningError("only range-partitioned maps have key ranges")
+        try:
+            index = self.partitions.index(partition)
+        except ValueError:
+            raise PartitioningError(f"unknown partition {partition!r}") from None
+        lower = self.range_bounds[index - 1] if index > 0 else ""
+        upper = self.range_bounds[index] if index < len(self.range_bounds) else None
+        return lower, upper
+
+    def split_partition(
+        self,
+        source: str,
+        split_key: str,
+        new_partition: str,
+        new_group: GroupId,
+    ) -> "PartitionMap":
+        """The next map version: ``[split_key, upper)`` of ``source`` moves to
+        ``new_partition`` on ``new_group``.
+
+        Only range-partitioned maps support key-range migration (hash
+        partitioning would remap nearly every key when the partition count
+        changes).  The new partition is inserted right after the source so the
+        bounds stay sorted; the version is bumped by one.
+        """
+        if self.scheme != "range":
+            raise PartitioningError(
+                "only range-partitioned maps support key-range migration"
+            )
+        if new_partition in self.partitions:
+            raise PartitioningError(f"partition {new_partition!r} already exists")
+        lower, upper = self.partition_range(source)
+        if split_key <= lower or (upper is not None and split_key >= upper):
+            raise PartitioningError(
+                f"split key {split_key!r} is outside the range of {source!r} "
+                f"([{lower!r}, {upper!r}))"
+            )
+        index = self.partitions.index(source)
+        partitions = (
+            self.partitions[: index + 1] + (new_partition,) + self.partitions[index + 1 :]
+        )
+        bounds = self.range_bounds[:index] + (split_key,) + self.range_bounds[index:]
+        groups = dict(self.groups)
+        groups[new_partition] = new_group
+        return PartitionMap(
+            partitions, groups, "range", bounds, self.global_group, self.version + 1
+        )
 
     # ------------------------------------------------------------------
     # key routing

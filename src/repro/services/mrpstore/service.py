@@ -21,11 +21,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import BatchingConfig, MultiRingConfig, RecoveryConfig
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import ConfigurationError, CoordinationError, ServiceError
 from repro.multiring.deployment import Deployment, RingSpec
+from repro.reconfig.migration import MigrationAgent
 from repro.sim.disk import Disk, StorageMode, disk_for_mode
 from repro.sim.world import World
 from repro.smr.client import Request
+from repro.smr.command import Command
 from repro.smr.frontend import ProposerFrontend
 from repro.smr.replica import Replica
 from repro.services.mrpstore.partitioning import PartitionMap
@@ -33,6 +35,12 @@ from repro.services.mrpstore.state import MRPStoreStateMachine
 from repro.types import GroupId
 
 __all__ = ["MRPStore"]
+
+#: Registry key under which the store's partition map is published.
+SERVICE_NAME = "mrp-store"
+
+#: Single-key operations: ``(op, key, ...)``.
+_POINT_OPS = ("read", "update", "insert", "delete", "rmw")
 
 
 @dataclass
@@ -64,9 +72,14 @@ class MRPStore:
         partition_sites: Optional[Dict[str, str]] = None,
         enable_recovery: bool = False,
         key_space: int = 100000,
+        rings: Optional[int] = None,
     ) -> None:
         if partitions < 1:
             raise ConfigurationError("MRP-Store needs at least one partition")
+        if rings is not None and not 1 <= rings <= partitions:
+            raise ConfigurationError(
+                "the ring count must be between 1 and the partition count"
+            )
         self.world = world
         self.config = config or MultiRingConfig.datacenter()
         self.recovery_config = recovery_config or RecoveryConfig()
@@ -74,10 +87,21 @@ class MRPStore:
         self.use_global_ring = use_global_ring
         self.storage_mode = storage_mode
         self.key_space = key_space
+        self.enable_recovery = enable_recovery
         self.deployment = Deployment(world, self.config)
 
         partition_names = [f"p{i}" for i in range(partitions)]
-        groups = {name: f"ring-{name}" for name in partition_names}
+        # With fewer rings than partitions, contiguous blocks of partitions
+        # share a ring (the elastic starting point: e.g. 2 partitions on one
+        # ring, later migrated apart by the reconfiguration subsystem).
+        ring_count = partitions if rings is None else rings
+        if ring_count == partitions:
+            groups = {name: f"ring-{name}" for name in partition_names}
+        else:
+            groups = {
+                name: f"ring-g{index * ring_count // partitions}"
+                for index, name in enumerate(partition_names)
+            }
         if scheme == "range":
             bounds = tuple(
                 self._key(int(self.key_space * (i + 1) / partitions))
@@ -121,66 +145,81 @@ class MRPStore:
         global_acceptors: List[str] = []
         global_learners: List[str] = []
 
+        # Partitions sharing a multicast group share that group's ring (its
+        # acceptors order commands for all of them; every replica of every
+        # partition on the ring learns them and filters by ownership).
+        group_partitions: Dict[GroupId, List[str]] = {}
         for partition_name in partition_names:
             group = self.partition_map.group_of_partition(partition_name)
-            site = partition_sites.get(partition_name)
-            acceptor_names = [
-                f"{partition_name}-acc{i}" for i in range(acceptors_per_partition)
-            ]
-            replica_names = [
-                f"{partition_name}-rep{i}" for i in range(replicas_per_partition)
-            ]
+            group_partitions.setdefault(group, []).append(partition_name)
+
+        for group, names in group_partitions.items():
+            site = partition_sites.get(names[0])
+            prefix = names[0] if len(names) == 1 else group
+            acceptor_names = [f"{prefix}-acc{i}" for i in range(acceptors_per_partition)]
 
             # Replica nodes must exist before the ring is added so we can use
             # the Replica subclass (the deployment would otherwise create
             # plain MultiRingNode learners).
-            replicas: List[Replica] = []
-            for replica_name in replica_names:
-                state_machine = MRPStoreStateMachine(partition_name, self.partition_map)
-                replica = Replica(
-                    self.world,
-                    self.deployment.registry,
-                    replica_name,
-                    state_machine=state_machine,
-                    partition=partition_name,
-                    config=self.config,
-                    site=site,
-                    monitor_series=partition_name,
-                )
-                self.deployment.nodes[replica_name] = replica
-                replicas.append(replica)
+            ring_replica_names: List[str] = []
+            partition_replicas: Dict[str, List[Replica]] = {}
+            for partition_name in names:
+                replicas: List[Replica] = []
+                for index in range(replicas_per_partition):
+                    replica_name = f"{partition_name}-rep{index}"
+                    state_machine = MRPStoreStateMachine(partition_name, self.partition_map)
+                    replica = Replica(
+                        self.world,
+                        self.deployment.registry,
+                        replica_name,
+                        state_machine=state_machine,
+                        partition=partition_name,
+                        config=self.config,
+                        site=site,
+                        monitor_series=partition_name,
+                    )
+                    self.deployment.nodes[replica_name] = replica
+                    MigrationAgent(replica, service=SERVICE_NAME)
+                    replicas.append(replica)
+                    ring_replica_names.append(replica_name)
+                partition_replicas[partition_name] = replicas
 
             for acceptor_name in acceptor_names:
                 self.deployment.add_node(acceptor_name, site=site)
 
-            members = acceptor_names + replica_names
+            members = acceptor_names + ring_replica_names
             self.deployment.add_ring(
                 RingSpec(
                     group=group,
                     members=members,
                     acceptors=acceptor_names,
                     proposers=acceptor_names,
-                    learners=replica_names,
+                    learners=ring_replica_names,
                     storage_mode=self.storage_mode,
                 ),
                 sites={name: site for name in members} if site else None,
             )
 
             frontends = [
-                ProposerFrontend(self.deployment.node(name), batching=self.batching)
+                ProposerFrontend(
+                    self.deployment.node(name),
+                    batching=self.batching,
+                    router=self.route_by_epoch,
+                )
                 for name in acceptor_names
             ]
-            self.partitions[partition_name] = _Partition(
-                name=partition_name,
-                group=group,
-                acceptors=acceptor_names,
-                replicas=replicas,
-                frontends=frontends,
-            )
+            for partition_name in names:
+                self.partitions[partition_name] = _Partition(
+                    name=partition_name,
+                    group=group,
+                    acceptors=acceptor_names,
+                    replicas=partition_replicas[partition_name],
+                    frontends=frontends,
+                )
 
             global_members.append(acceptor_names[0])
             global_acceptors.append(acceptor_names[0])
-            global_learners.extend(replica_names)
+            global_learners.extend(ring_replica_names)
 
         if self.use_global_ring:
             self.deployment.add_ring(
@@ -209,6 +248,49 @@ class MRPStore:
                     TrimProtocol(self.deployment.node(acceptor_name), self.recovery_config).start()
 
     # ------------------------------------------------------------------
+    # reconfiguration support
+    # ------------------------------------------------------------------
+    @property
+    def current_map(self) -> PartitionMap:
+        """The latest partition-map version published in the registry.
+
+        Falls back to the construction-time map when nothing is published
+        (cannot happen after ``__init__``, but keeps the property total).
+        """
+        try:
+            return self.deployment.registry.partition_map(SERVICE_NAME)
+        except CoordinationError:
+            return self.partition_map
+
+    def route_by_epoch(self, command: Command, group: GroupId) -> GroupId:
+        """Front-end router: correct a stale target group for point operations."""
+        operation = command.operation
+        if (
+            isinstance(operation, tuple)
+            and len(operation) >= 2
+            and operation[0] in _POINT_OPS
+            and isinstance(operation[1], str)
+        ):
+            return self.current_map.group_of_key(operation[1])
+        return group
+
+    def register_partition(
+        self,
+        name: str,
+        group: GroupId,
+        acceptors: List[str],
+        replicas: List[Replica],
+        frontends: List[ProposerFrontend],
+    ) -> None:
+        """Attach a partition added at runtime (elastic scale-out)."""
+        if name in self.partitions:
+            raise ServiceError(f"partition {name!r} already exists")
+        self.partitions[name] = _Partition(
+            name=name, group=group, acceptors=list(acceptors), replicas=list(replicas),
+            frontends=list(frontends),
+        )
+
+    # ------------------------------------------------------------------
     # key helpers
     # ------------------------------------------------------------------
     def _key(self, index: int) -> str:
@@ -225,7 +307,7 @@ class MRPStore:
         """Populate every replica with ``record_count`` records of ``value_size`` bytes."""
         for index in range(record_count):
             key = self._key(index)
-            partition_name = self.partition_map.partition_of(key)
+            partition_name = self.current_map.partition_of(key)
             for replica in self.partitions[partition_name].replicas:
                 replica.state_machine.execute(("insert", key, value_size), "load")
 
@@ -233,13 +315,13 @@ class MRPStore:
     # client library (Table 1)
     # ------------------------------------------------------------------
     def read(self, key: str, series: Optional[str] = None) -> Request:
-        return Request(("read", key), 64 + len(key), self.partition_map.group_of_key(key), 1, series)
+        return Request(("read", key), 64 + len(key), self.current_map.group_of_key(key), 1, series)
 
     def update(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
         return Request(
             ("update", key, value_size),
             64 + len(key) + value_size,
-            self.partition_map.group_of_key(key),
+            self.current_map.group_of_key(key),
             1,
             series,
         )
@@ -248,25 +330,25 @@ class MRPStore:
         return Request(
             ("insert", key, value_size),
             64 + len(key) + value_size,
-            self.partition_map.group_of_key(key),
+            self.current_map.group_of_key(key),
             1,
             series,
         )
 
     def delete(self, key: str, series: Optional[str] = None) -> Request:
-        return Request(("delete", key), 64 + len(key), self.partition_map.group_of_key(key), 1, series)
+        return Request(("delete", key), 64 + len(key), self.current_map.group_of_key(key), 1, series)
 
     def read_modify_write(self, key: str, value_size: int, series: Optional[str] = None) -> Request:
         return Request(
             ("rmw", key, value_size),
             64 + len(key) + value_size,
-            self.partition_map.group_of_key(key),
+            self.current_map.group_of_key(key),
             1,
             series,
         )
 
     def scan(self, start_key: str, end_key: str, series: Optional[str] = None) -> Request:
-        group, expected = self.partition_map.scan_group(start_key, end_key)
+        group, expected = self.current_map.scan_group(start_key, end_key)
         return Request(("scan", start_key, end_key), 96 + len(start_key), group, expected, series)
 
     # ------------------------------------------------------------------

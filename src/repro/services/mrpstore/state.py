@@ -67,10 +67,17 @@ class MRPStoreStateMachine(StateMachine):
         raise ServiceError(f"unknown MRP-Store operation {op!r}")
 
     def snapshot(self) -> Tuple[Any, int]:
-        state = dict(self._entries)
+        state = {
+            "entries": dict(self._entries),
+            # The partition-map epoch is part of the replica state: a replica
+            # recovering from this checkpoint must route/own exactly the key
+            # ranges it owned when the checkpoint was taken (reconfiguration
+            # commands replayed above the cursor then bring it up to date).
+            "partition_map": self.partition_map,
+        }
         size = sum(
             len(key) + value_size + _ENTRY_OVERHEAD_BYTES
-            for key, (value_size, _version) in state.items()
+            for key, (value_size, _version) in self._entries.items()
         )
         return state, size
 
@@ -79,7 +86,11 @@ class MRPStoreStateMachine(StateMachine):
             self._entries = {}
             self._keys = []
             return
-        self._entries = dict(state)
+        if isinstance(state, dict) and "entries" in state and "partition_map" in state:
+            self._entries = dict(state["entries"])
+            self.partition_map = state["partition_map"]
+        else:  # pre-reconfig snapshot format: a bare entries dict
+            self._entries = dict(state)
         self._keys = sorted(self._entries)
 
     def execution_cost_bytes(self, operation: Any) -> int:
@@ -87,6 +98,38 @@ class MRPStoreStateMachine(StateMachine):
         if isinstance(operation, tuple) and operation and operation[0] == "scan":
             return 1024
         return 64
+
+    # ------------------------------------------------------------------
+    # reconfiguration support
+    # ------------------------------------------------------------------
+    def set_partition_map(self, partition_map: PartitionMap) -> None:
+        """Adopt a newer partition-map version (stale versions are ignored)."""
+        if partition_map.version < self.partition_map.version:
+            return
+        self.partition_map = partition_map
+
+    def extract_owned_by(self, new_map: PartitionMap, partition: str) -> Dict[str, Tuple[int, int]]:
+        """Remove and return every entry that ``partition`` owns under ``new_map``.
+
+        This is the source side of a key-range handoff: called at the agreed
+        migration point, it is a deterministic function of the replica state,
+        so all source replicas extract exactly the same entries.
+        """
+        moved = {
+            key: entry
+            for key, entry in self._entries.items()
+            if new_map.partition_of(key) == partition
+        }
+        for key in moved:
+            del self._entries[key]
+        self._keys = sorted(self._entries)
+        return moved
+
+    def absorb_entries(self, entries: Dict[str, Tuple[int, int]]) -> None:
+        """Install migrated entries (value sizes and versions are preserved)."""
+        for key, (value_size, version) in entries.items():
+            self._entries[key] = (int(value_size), int(version))
+        self._keys = sorted(self._entries)
 
     # ------------------------------------------------------------------
     # operations

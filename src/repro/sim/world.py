@@ -87,6 +87,11 @@ class World:
         for process in list(self._processes.values()):
             self.sim.schedule(0.0, process.on_start)
 
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` has run (late joiners start immediately)."""
+        return self._started
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Start all processes (if needed) and run the simulation."""
         self.start()

@@ -11,7 +11,7 @@ per group, and multicasts the resulting value.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.config import BatchingConfig
 from repro.errors import ServiceError
@@ -20,13 +20,32 @@ from repro.types import GroupId
 
 __all__ = ["ProposerFrontend"]
 
+#: Epoch router: maps ``(command, group-the-client-chose)`` to the group the
+#: command should go to under the *current* partition map.
+Router = Callable[[Command, GroupId], GroupId]
+
 
 class ProposerFrontend:
-    """Receives client commands on a node and multicasts them."""
+    """Receives client commands on a node and multicasts them.
 
-    def __init__(self, node, batching: Optional[BatchingConfig] = None) -> None:
+    With a ``router`` the front-end re-routes commands whose target group is
+    stale (the client built the request under an older partition-map epoch).
+    Re-routing only happens when this front-end can propose to the corrected
+    group; otherwise the command proceeds on the stale group and the
+    migration agents forward it to the new owner -- either way nothing is
+    lost.
+    """
+
+    def __init__(
+        self,
+        node,
+        batching: Optional[BatchingConfig] = None,
+        router: Optional[Router] = None,
+    ) -> None:
         self.node = node
         self.batching = batching or BatchingConfig(enabled=False)
+        self.router = router
+        self.rerouted_commands = 0
         self._pending: Dict[GroupId, List[Command]] = {}
         self._pending_bytes: Dict[GroupId, int] = {}
         self._flush_timers: Dict[GroupId, object] = {}
@@ -40,6 +59,11 @@ class ProposerFrontend:
 
     def submit(self, group: GroupId, command: Command) -> None:
         """Submit ``command`` for multicast to ``group`` (local API, same path as messages)."""
+        if self.router is not None:
+            routed = self.router(command, group)
+            if routed != group and routed in self.node.roles:
+                self.rerouted_commands += 1
+                group = routed
         if group not in self.node.roles:
             raise ServiceError(
                 f"front-end {self.node.name} is not a proposer for group {group!r}"

@@ -10,7 +10,7 @@ participation, and the full recovery sequence after a restart.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.config import MultiRingConfig, RecoveryConfig
 from repro.coordination.registry import Registry
@@ -53,6 +53,11 @@ class Replica(MultiRingNode):
         self.commands_executed = 0
         self.recovery: Optional[ReplicaRecovery] = None
         self.trim: Optional[TrimProtocol] = None
+        #: Reconfiguration hook: called before executing each delivered
+        #: command; returning False suppresses local execution (the command is
+        #: buffered or forwarded by a migration agent).  Must be a
+        #: deterministic function of the delivery sequence.
+        self.command_gate: Optional[Callable[[Command, GroupId], bool]] = None
         self.on_deliver(self._execute_delivery)
 
     # ------------------------------------------------------------------
@@ -118,6 +123,8 @@ class Replica(MultiRingNode):
             self._execute_command(command, delivery.group)
 
     def _execute_command(self, command: Command, group: GroupId) -> None:
+        if self.command_gate is not None and not self.command_gate(command, group):
+            return
         result, result_size = self.state_machine.execute(command.operation, group)
         self.commands_executed += 1
         cost = self.state_machine.execution_cost_bytes(command.operation)

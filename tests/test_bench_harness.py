@@ -105,4 +105,5 @@ class TestHarnessPresets:
             "figure7",
             "figure8",
             "ablations",
+            "reconfig",
         }

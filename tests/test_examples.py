@@ -8,6 +8,10 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
+# Every example runs a complete simulation; the whole module is gated behind
+# the `slow` marker so `-m "not slow"` gives a fast tier-1 run.
+pytestmark = pytest.mark.slow
+
 
 def _load(name: str):
     path = EXAMPLES_DIR / name
@@ -39,7 +43,6 @@ def test_distributed_log_example_runs(capsys):
     assert "replica-0" in output
 
 
-@pytest.mark.slow
 def test_recovery_demo_example_runs(capsys):
     module = _load("recovery_demo.py")
     module.main()

@@ -13,7 +13,9 @@ Installed as the ``repro-bench`` console script by ``setup.py``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.bench.harness import EXPERIMENTS, SCALES, run_experiment
 
@@ -39,13 +41,24 @@ def main(argv=None) -> int:
             "paper = the paper's parameters (minutes)"
         ),
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also dump the raw result dictionaries to this JSON file",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    results = {}
     for name in names:
         result = run_experiment(name, scale=args.scale)
+        results[name] = result
         print(result["report"])
         print()
+    if args.json is not None:
+        args.json.write_text(json.dumps(results, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.bench.ablations import run_merge_granularity_ablation, run_rate_leveling_ablation
+from repro.bench.batching import run_batching
 from repro.bench.figure3 import run_figure3
 from repro.bench.figure4 import run_figure4
 from repro.bench.figure5 import run_figure5
@@ -147,6 +148,30 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 },
             )
         )
+    if name == "batching":
+        return run_batching(
+            **_params(
+                scale,
+                smoke={
+                    "batch_sizes": (1, 8),
+                    "windows": (32,),
+                    "proposer_threads": 8,
+                    "duration": 1.0,
+                },
+                quick={
+                    "batch_sizes": (1, 2, 4, 8, 16),
+                    "windows": (1, 32),
+                    "proposer_threads": 16,
+                    "duration": 2.0,
+                },
+                paper={
+                    "batch_sizes": (1, 2, 4, 8, 16, 32),
+                    "windows": (1, 8, 32, 128),
+                    "proposer_threads": 32,
+                    "duration": 5.0,
+                },
+            )
+        )
     if name == "ablations":
         duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
         leveling = run_rate_leveling_ablation(duration=duration)
@@ -169,4 +194,5 @@ EXPERIMENTS = (
     "figure8",
     "ablations",
     "reconfig",
+    "batching",
 )

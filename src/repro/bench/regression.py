@@ -1,0 +1,164 @@
+"""Benchmark-regression gate for CI.
+
+``python -m repro.bench.regression`` runs the smoke-scale benchmark suite,
+writes the collected metrics to a JSON file (``BENCH_smoke.json`` in CI,
+uploaded as a workflow artifact), and compares them against the committed
+baseline in ``benchmarks/baselines/smoke.json``:
+
+* a metric that regresses by more than the tolerance (default +-20 %) fails
+  the gate (non-zero exit code);
+* a metric that *improves* by more than the tolerance only warns, so the
+  baseline gets refreshed (see CONTRIBUTING.md) instead of rotting.
+
+Metric direction is encoded in the name: ``*_ops`` metrics are
+higher-is-better, ``*_ms`` metrics are lower-is-better.  The simulator is
+deterministic, so the tolerance only has to absorb cross-platform float
+noise and intentional model changes -- not run-to-run variance.
+
+Refreshing the baseline::
+
+    python -m repro.bench.regression --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.bench.harness import run_experiment
+
+__all__ = ["collect_smoke_metrics", "compare_metrics", "main"]
+
+#: Default location of the committed baseline, relative to the repo root.
+DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "smoke.json"
+
+
+def _is_higher_better(metric: str) -> bool:
+    if metric.endswith("_ops") or metric.endswith("speedup"):
+        return True
+    if metric.endswith("_ms"):
+        return False
+    raise ValueError(f"metric {metric!r} does not encode a direction (_ops/_ms/speedup)")
+
+
+def collect_smoke_metrics(scale: str = "smoke") -> Dict:
+    """Run the gated experiments and distill scalar throughput/latency metrics."""
+    metrics: Dict[str, float] = {}
+
+    batching = run_experiment("batching", scale=scale)
+    widest = max(batching["windows"])
+    cells = batching["results"][widest]
+    best_batch = max(batching["batch_sizes"])
+    metrics["batching/batched_throughput_ops"] = cells[best_batch]["throughput_ops"]
+    metrics["batching/batched_latency_ms"] = cells[best_batch]["latency_ms"]
+    metrics["batching/unbatched_throughput_ops"] = cells[batching["batch_sizes"][0]][
+        "throughput_ops"
+    ]
+    metrics["batching/speedup"] = batching["speedup_at_8"]
+
+    figure6 = run_experiment("figure6", scale=scale)
+    top_rings = max(figure6["ring_counts"])
+    metrics["figure6/aggregate_ops"] = figure6["results"][top_rings]["aggregate_ops"]
+    metrics["figure6/latency_disk1_ms"] = figure6["results"][top_rings]["latency_disk1_ms"]
+
+    return {"scale": scale, "metrics": metrics}
+
+
+def compare_metrics(
+    current: Dict, baseline: Dict, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Compare metric dicts; returns ``(regressions, improvements)`` messages."""
+    regressions: List[str] = []
+    improvements: List[str] = []
+    baseline_metrics = baseline.get("metrics", {})
+    for name, value in current.get("metrics", {}).items():
+        if name not in baseline_metrics:
+            improvements.append(f"{name}: no baseline entry (new metric, value {value:.1f})")
+            continue
+        reference = baseline_metrics[name]
+        if reference == 0:
+            continue
+        ratio = value / reference
+        better = ratio - 1.0 if _is_higher_better(name) else 1.0 - ratio
+        detail = f"{name}: {value:.1f} vs baseline {reference:.1f} ({ratio:.2f}x)"
+        if better < -tolerance:
+            regressions.append(detail)
+        elif better > tolerance:
+            improvements.append(detail)
+    for name in baseline_metrics:
+        if name not in current.get("metrics", {}):
+            regressions.append(f"{name}: present in baseline but not measured")
+    return regressions, improvements
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-gate",
+        description="Run the smoke benchmarks and gate on the committed baseline.",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_smoke.json"),
+        help="where to write the collected metrics (JSON)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="relative tolerance before a change counts as regression/improvement",
+    )
+    parser.add_argument(
+        "--scale", default="smoke", choices=("smoke", "quick"),
+        help="benchmark scale to run (the committed baseline is smoke)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the collected metrics to the baseline file and exit green",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect_smoke_metrics(scale=args.scale)
+    args.output.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for name, value in sorted(current["metrics"].items()):
+        print(f"  {name} = {value:.2f}")
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found; run with --update-baseline", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("scale") != current["scale"]:
+        print(
+            f"error: measured scale {current['scale']!r} does not match baseline "
+            f"scale {baseline.get('scale')!r} ({args.baseline}); comparing them "
+            "would only report scale mismatch, not regressions",
+            file=sys.stderr,
+        )
+        return 2
+    regressions, improvements = compare_metrics(current, baseline, args.tolerance)
+
+    for message in improvements:
+        # GitHub Actions annotation: improvement is a warning, not a failure,
+        # so the baseline gets refreshed rather than silently drifting.
+        print(f"::warning title=benchmark improved::{message}")
+    if regressions:
+        for message in regressions:
+            print(f"::error title=benchmark regression::{message}")
+        print(f"FAIL: {len(regressions)} metric(s) regressed beyond {args.tolerance:.0%}")
+        return 1
+    print(f"gate green: all metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

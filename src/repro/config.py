@@ -24,19 +24,48 @@ __all__ = ["RingConfig", "MultiRingConfig", "RecoveryConfig", "BatchingConfig"]
 class BatchingConfig:
     """Batching of application commands into consensus values.
 
-    The paper's clients batch small commands into packets of up to 32 KB
-    before submitting them to Multi-Ring Paxos (Sections 7.2, 8.4).
+    Used in two places:
+
+    * client-side: proposer front-ends batch small commands into packets of
+      up to 32 KB before submitting them to Multi-Ring Paxos (Sections 7.2,
+      8.4) -- only the byte cap and the flush delay apply there;
+    * coordinator-side: when :attr:`RingConfig.batching` is enabled, the ring
+      coordinator packs multiple proposed values into one Paxos instance
+      (URingPaxos amortizes per-instance protocol cost this way).  The batch
+      flushes when it reaches ``max_batch_values`` values or
+      ``max_batch_bytes`` bytes, or ``max_batch_delay`` seconds after the
+      first value entered the batch, whichever comes first.
     """
 
     enabled: bool = False
     max_batch_bytes: int = 32 * 1024
     max_batch_delay: float = 1e-3
+    #: Maximum number of values packed into one consensus instance
+    #: (coordinator-side batching only).
+    max_batch_values: int = 16
 
     def __post_init__(self) -> None:
         if self.max_batch_bytes <= 0:
             raise ConfigurationError("max_batch_bytes must be positive")
         if self.max_batch_delay < 0:
             raise ConfigurationError("max_batch_delay cannot be negative")
+        if self.max_batch_values < 1:
+            raise ConfigurationError("max_batch_values must be at least 1")
+
+    @classmethod
+    def coordinator(
+        cls,
+        max_batch_values: int = 16,
+        max_batch_bytes: int = 32 * 1024,
+        max_batch_delay: float = 0.5e-3,
+    ) -> "BatchingConfig":
+        """Convenience constructor for coordinator-side batching."""
+        return cls(
+            enabled=True,
+            max_batch_bytes=max_batch_bytes,
+            max_batch_delay=max_batch_delay,
+            max_batch_values=max_batch_values,
+        )
 
 
 @dataclass(frozen=True)
@@ -50,12 +79,22 @@ class RingConfig:
     memory_slots: int = 15000
     #: Size of one in-memory slot in bytes.
     slot_bytes: int = 32 * 1024
-    #: Batching of proposals inside the ring (grouping of consensus messages).
+    #: Coordinator-side batching: pack several proposed values into one
+    #: consensus instance (see :class:`BatchingConfig`).
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     #: CPU cost model used by ring members.
     cpu: CPUConfig = field(default_factory=CPUConfig)
-    #: How many consensus instances may be in flight concurrently.
+    #: Pipelined instance window: how many consensus instances the
+    #: coordinator keeps open (started but not yet decided) concurrently.
+    #: Further starts queue until a decision closes an open instance.
+    #: ``0`` disables the limit.
     pipeline_depth: int = 128
+
+    def with_batching(self, batching: BatchingConfig) -> "RingConfig":
+        return replace(self, batching=batching)
+
+    def with_pipeline_depth(self, depth: int) -> "RingConfig":
+        return replace(self, pipeline_depth=depth)
 
     def with_storage(self, mode: StorageMode) -> "RingConfig":
         return replace(self, storage_mode=mode)

@@ -35,7 +35,20 @@ class RateLeveler:
 
     @property
     def quota_per_interval(self) -> int:
-        """λ·Δ -- the number of instances each ring is expected to start per interval."""
+        """λ·Δ -- the number of *instances* each ring must start per interval.
+
+        The quota is the system-wide instance rate contract that keeps the
+        deterministic merge advancing: every ring, batched or not, tops up to
+        the same λ·Δ instances per interval.  Coordinator-side batching is
+        accounted for in the *counter*, not the quota:
+        ``proposals_since_level`` counts instances started (a flushed batch
+        of any size is one instance), so a batched busy ring correctly skips
+        the instances its batching saved.  Dividing the quota by the batch
+        factor instead would let a partially-batched ring outpace its
+        skip-topped peers and grow the merge backlog without bound.  Skip
+        ranges cost one message and one log write regardless of size, so the
+        extra skips are cheap.
+        """
         return self.config.skip_quota_per_interval
 
     def on_interval(self) -> int:
@@ -44,7 +57,11 @@ class RateLeveler:
         proposed = self.role.reset_level_counter()
         if not self.config.rate_leveling:
             return 0
-        deficit = self.quota_per_interval - proposed
+        # Skips from previous intervals still waiting for the pipeline window
+        # count against the deficit: re-proposing them every interval would
+        # grow the start queue without bound under window backpressure.
+        queued_skips = getattr(self.role, "queued_skip_instances", 0)
+        deficit = self.quota_per_interval - proposed - queued_skips
         if deficit <= 0:
             return 0
         # One Phase 2 message covers the whole skip range (paper: "the

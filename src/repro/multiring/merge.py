@@ -11,7 +11,10 @@ ring (possibly out of instance order during recovery); the merge buffers them
 and releases deliveries only in the globally deterministic order, so that any
 two learners subscribing to the same set of groups deliver the same sequence.
 Skip instances (rate leveling) are consumed by the merge but not delivered to
-the application.
+the application.  Batched instances (coordinator-side batching packs several
+values into one consensus instance) are unpacked here: each inner value
+becomes its own application delivery, in packing order, while the instance
+still counts as a single slot of the M-per-ring round-robin quota.
 
 The merge also exposes the *delivery cursor* -- for every group, the next
 consensus instance to deliver -- which is precisely the checkpoint tuple
@@ -34,7 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import MulticastError
-from repro.types import GroupId, InstanceId, Value
+from repro.types import GroupId, InstanceId, Value, unpack_value
 
 __all__ = ["Delivery", "DeterministicMerge"]
 
@@ -86,6 +89,9 @@ class DeterministicMerge:
         self.subscription_version = 0
         self.delivered_count = 0
         self.skipped_count = 0
+        #: Instances that carried more than one application value
+        #: (coordinator-side batching).
+        self.batched_instances = 0
         self.deliveries: List[Delivery] = []
         #: When True, deliveries are appended to :attr:`deliveries` (useful in
         #: tests); large experiments disable it to save memory.
@@ -246,12 +252,21 @@ class DeterministicMerge:
             if value.is_skip:
                 self.skipped_count += 1
             else:
-                self.delivered_count += 1
-                delivery = Delivery(group, instance, value)
-                if self.keep_history:
-                    self.deliveries.append(delivery)
-                if self._deliver is not None:
-                    self._deliver(delivery)
+                # A batched instance (coordinator-side batching) unpacks into
+                # several application deliveries, but still consumes exactly
+                # one slot of the M-instances-per-ring round-robin quota:
+                # the round structure is defined over consensus instances,
+                # not over the values they carry.
+                inner_values = unpack_value(value)
+                if len(inner_values) > 1:
+                    self.batched_instances += 1
+                for inner in inner_values:
+                    self.delivered_count += 1
+                    delivery = Delivery(group, instance, inner)
+                    if self.keep_history:
+                        self.deliveries.append(delivery)
+                    if self._deliver is not None:
+                        self._deliver(delivery)
             self._delivered_in_round += 1
             if self._delivered_in_round >= self.m:
                 self._delivered_in_round = 0

@@ -221,6 +221,24 @@ class MultiRingNode(RingHost):
         """Total skip instances proposed per coordinated ring."""
         return {group: leveler.total_skips for group, leveler in self._levelers.items()}
 
+    def batching_statistics(self) -> Dict[GroupId, Dict[str, int]]:
+        """Coordinator batcher counters per coordinated ring (empty if disabled)."""
+        stats: Dict[GroupId, Dict[str, int]] = {}
+        for group, role in self.roles.items():
+            if role.batcher is None:
+                continue
+            batcher = role.batcher
+            stats[group] = {
+                "values_offered": batcher.values_offered,
+                "batches_flushed": batcher.batches_flushed,
+                "size_flushes": batcher.size_flushes,
+                "timeout_flushes": batcher.timeout_flushes,
+                "control_flushes": batcher.control_flushes,
+                "window_stalls": role.window_stalls,
+                "max_inflight": role.max_inflight,
+            }
+        return stats
+
     # ------------------------------------------------------------------
     # recovery hooks used by :mod:`repro.recovery`
     # ------------------------------------------------------------------
@@ -229,14 +247,18 @@ class MultiRingNode(RingHost):
         return self.merge.delivery_cursor()
 
     def fast_forward(self, cursor: Dict[GroupId, InstanceId]) -> None:
-        """Jump the merge (and the ring roles' learner bookkeeping) to ``cursor``."""
+        """Jump the merge (and the ring roles' learner bookkeeping) to ``cursor``.
+
+        The checkpoint behind ``cursor`` covers every instance below it, so
+        the roles' in-order delivery cursors jump there directly -- those
+        instances will never circulate again and must not be waited for.
+        """
         self.merge.fast_forward(cursor)
         for group, next_instance in cursor.items():
             role = self.roles.get(group)
             if role is None:
                 continue
-            for instance in range(max(0, role.highest_learned + 1), next_instance):
-                role.inject_learned(instance)
+            role.fast_forward_delivery(next_instance)
 
     def on_crash(self) -> None:
         super().on_crash()

@@ -253,8 +253,15 @@ class ReplicaRecovery:
                 f"acceptor {sender} trimmed its log up to {msg.trimmed_up_to}; "
                 f"the installed checkpoint is too old to recover from"
             )
+        role = self.node.roles.get(msg.group)
         for instance, value in msg.entries:
             self.node.merge.on_decision(msg.group, instance, value)
+            if role is not None:
+                # The instance reached the merge without passing through the
+                # ring role; advance the role's in-order delivery cursor so
+                # live decisions arriving above it are not held back waiting
+                # for instances that will never circulate again.
+                role.inject_learned(instance)
         self._pending_retransmits.discard(msg.group)
         if not self._pending_retransmits:
             self._finish_recovery()

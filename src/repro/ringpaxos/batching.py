@@ -1,0 +1,138 @@
+"""Coordinator-side batching of proposed values into consensus instances.
+
+URingPaxos owes its throughput to amortizing per-instance protocol cost: the
+coordinator packs many application messages into one Paxos value, so one
+Phase 2 circulation, one acceptor log write and one decision cover the whole
+batch.  :class:`CoordinatorBatcher` reproduces that component.  It sits
+between the coordinator's proposal intake and the instance window:
+
+* values accumulate in a pending batch;
+* the batch flushes when it reaches the configured value-count cap or byte
+  cap, or when the flush timeout expires (armed when the first value enters
+  an empty batch) -- whichever comes first;
+* reconfiguration control commands are *never* batched with application
+  values: an arriving control value flushes the pending batch and is then
+  proposed in its own instance, so its agreed delivery position stays
+  unambiguous.
+
+Skip values (rate leveling) bypass the batcher entirely -- the coordinator
+proposes them directly through the instance window.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.config import BatchingConfig
+from repro.types import Value, batch_values
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ringpaxos.role import RingRole
+
+__all__ = ["CoordinatorBatcher", "is_control_payload"]
+
+#: Lazily resolved ``(ControlCommand, ForwardedCommand)`` -- populated on the
+#: first call to :func:`is_control_payload`.  :mod:`repro.reconfig` sits above
+#: the ring layer, so importing it at module load would invert the layering;
+#: resolving once keeps the per-value hot path free of import machinery.
+_control_types = None
+
+
+def is_control_payload(value: Value) -> bool:
+    """True when ``value`` carries a reconfiguration control command.
+
+    ``ForwardedCommand`` is exempt: it re-multicasts an *application* write
+    whose delivery position is not a reconfiguration agreement point (the
+    destination dedups by command id), so it batches like any other value --
+    important because migrations forward a burst of writes exactly when the
+    destination ring is busiest.  The merge unpacks batches value by value,
+    so a co-batched forwarded command still reaches the control routing path.
+    """
+    global _control_types
+    if _control_types is None:
+        from repro.reconfig.commands import ControlCommand, ForwardedCommand
+
+        _control_types = (ControlCommand, ForwardedCommand)
+    control_command, forwarded_command = _control_types
+    return isinstance(value.payload, control_command) and not isinstance(
+        value.payload, forwarded_command
+    )
+
+
+class CoordinatorBatcher:
+    """Packs proposed values into batch values at the ring coordinator."""
+
+    def __init__(self, role: "RingRole", config: BatchingConfig) -> None:
+        self.role = role
+        self.config = config
+        self._pending: List[Value] = []
+        self._pending_bytes = 0
+        self._timer = None
+        # Statistics.
+        self.values_offered = 0
+        self.batches_flushed = 0
+        self.size_flushes = 0
+        self.timeout_flushes = 0
+        self.control_flushes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_values(self) -> int:
+        return len(self._pending)
+
+    def offer(self, value: Value) -> None:
+        """Add ``value`` to the pending batch, flushing when a cap is hit."""
+        if is_control_payload(value):
+            # Control commands get their own instance; their position in the
+            # delivery sequence is the reconfiguration agreement point and
+            # must not be blurred by co-batched application values.
+            self.flush()
+            self.control_flushes += 1
+            self.role.enqueue_instances(value, 1)
+            return
+        self.values_offered += 1
+        self._pending.append(value)
+        self._pending_bytes += value.size_bytes
+        if (
+            len(self._pending) >= self.config.max_batch_values
+            or self._pending_bytes >= self.config.max_batch_bytes
+        ):
+            self.size_flushes += 1
+            self.flush()
+        elif self._timer is None:
+            self._timer = self.role.host.set_timer(
+                self.config.max_batch_delay, self._on_timeout
+            )
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self._pending:
+            self.timeout_flushes += 1
+            self.flush()
+
+    def flush(self) -> None:
+        """Propose the pending batch as one consensus value (no-op when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        pending = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        if len(pending) == 1:
+            value = pending[0]
+        else:
+            value = batch_values(
+                tuple(pending), proposer=self.role.name, created_at=self.role.host.now
+            )
+        self.batches_flushed += 1
+        self.role.enqueue_instances(value, 1)
+
+    def reset(self) -> None:
+        """Drop pending values (coordinator crash: the batch was volatile)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._pending = []
+        self._pending_bytes = 0

@@ -19,7 +19,7 @@ from repro.ringpaxos.node import RingHost
 from repro.sim.cpu import CPUConfig
 from repro.sim.disk import Disk, StorageMode, disk_for_mode
 from repro.sim.world import World
-from repro.types import GroupId, InstanceId, Value
+from repro.types import GroupId, InstanceId, Value, unpack_value
 
 __all__ = ["RingPaxosBroadcast", "build_broadcast_ring"]
 
@@ -49,9 +49,12 @@ class RingPaxosBroadcast:
         def sink(group: GroupId, instance: InstanceId, value: Value) -> None:
             if value.is_skip:
                 return
-            self._deliveries[host_name].append((instance, value))
-            for callback in self._delivery_callbacks:
-                callback(host_name, instance, value)
+            # Coordinator-side batching may pack several application values
+            # into one instance; unpack so callers see application values.
+            for inner in unpack_value(value):
+                self._deliveries[host_name].append((instance, inner))
+                for callback in self._delivery_callbacks:
+                    callback(host_name, instance, inner)
 
         return sink
 

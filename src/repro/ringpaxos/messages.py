@@ -9,6 +9,12 @@ creates it with its own vote, and each acceptor extends the ``votes`` set as
 the message travels around the ring.  ``count > 1`` is used for skip ranges --
 the coordinator may skip several consensus instances with a single message
 (Section 4, rate leveling).
+
+With coordinator-side batching enabled the ``value`` of a ``Phase2`` /
+``Decision`` may be a batch envelope (its payload is a
+:class:`~repro.types.ValueBatch`) carrying several application values in one
+consensus instance; the wire format is unchanged -- a batch is just a bigger
+value -- and learners unpack it at delivery time.
 """
 
 from __future__ import annotations

@@ -98,6 +98,16 @@ class RingHost(Process):
         self.role(group).propose(value)
         return value
 
+    def flush_batches(self) -> None:
+        """Flush pending coordinator batches on every ring this host coordinates.
+
+        Used at the end of experiments so the tail of the workload is not
+        left waiting for a flush timeout.
+        """
+        for role in self.roles.values():
+            if role.batcher is not None:
+                role.batcher.flush()
+
     def add_decision_sink(self, sink: DecisionSink) -> None:
         """Register a callback invoked for every decision learned by this host."""
         self._decision_sinks.append(sink)

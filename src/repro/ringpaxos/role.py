@@ -22,12 +22,14 @@ Protocol summary (Section 4 of the paper, Figure 2b):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.config import RingConfig
 from repro.errors import ConsensusError, MulticastError
 from repro.paxos.storage import AcceptorStorage
 from repro.paxos.types import Ballot
+from repro.ringpaxos.batching import CoordinatorBatcher
 from repro.ringpaxos.messages import (
     Decision,
     Phase2,
@@ -84,10 +86,37 @@ class RingRole:
         self.next_instance: InstanceId = 0
         self.proposals_since_level = 0
 
+        # Pipelined instance window: instances the coordinator started whose
+        # decision it has not yet learned.  When the window is full, further
+        # starts queue in FIFO order and drain as decisions close instances.
+        self._inflight = 0
+        self._start_queue: Deque[Tuple[Value, int]] = deque()
+        self._draining = False
+        self.window_stalls = 0
+        self.max_inflight = 0
+        #: Skip instances sitting in the start queue (not yet started).  The
+        #: rate leveler subtracts these from its deficit so that window
+        #: backpressure does not make it re-propose the same skips forever.
+        self.queued_skip_instances = 0
+
+        # Coordinator-side batcher (URingPaxos-style value packing).
+        self.batcher: Optional[CoordinatorBatcher] = None
+        if self.is_coordinator and self.config.batching.enabled:
+            self.batcher = CoordinatorBatcher(self, self.config.batching)
+
         # Learner state: which instances were already learned (dedup between
-        # the Phase2-completion path and the Decision path).
+        # the Phase2-completion path and the Decision path), plus the in-order
+        # delivery cursor -- decisions learned out of instance order (possible
+        # around failures) are buffered and released in order.  Instances
+        # supplied to the node outside the ring (checkpoint install, acceptor
+        # retransmission) are tracked in ``_injected``: the cursor passes over
+        # them without a notification, but never jumps a hole -- a decision
+        # that is still circulating fills its hole when it arrives.
         self._learned: Set[InstanceId] = set()
         self.highest_learned: InstanceId = -1
+        self._next_delivery: InstanceId = 0
+        self._out_of_order: Dict[InstanceId, Value] = {}
+        self._injected: Set[InstanceId] = set()
 
         # Statistics.
         self.values_proposed = 0
@@ -108,9 +137,16 @@ class RingRole:
 
     def _submit(self, value: Value) -> None:
         if self.is_coordinator:
-            self._start_instances(value, 1)
+            self._intake(value)
         else:
             self._forward(Proposal(group=self.group, value=value), origin=self.name)
+
+    def _intake(self, value: Value) -> None:
+        """Coordinator intake: batch the value, or start it directly."""
+        if self.batcher is not None:
+            self.batcher.offer(value)
+        else:
+            self.enqueue_instances(value, 1)
 
     def propose_skip(self, count: int) -> None:
         """Skip ``count`` consensus instances (rate leveling; coordinator only)."""
@@ -119,7 +155,7 @@ class RingRole:
         if count <= 0:
             return
         value = skip_value(created_at=self.host.now, proposer=self.name)
-        self._start_instances(value, count)
+        self.enqueue_instances(value, count)
 
     def reset_level_counter(self) -> int:
         """Return and reset the number of proposals since the last Δ interval."""
@@ -130,9 +166,55 @@ class RingRole:
     # ------------------------------------------------------------------
     # coordinator logic
     # ------------------------------------------------------------------
+    @property
+    def inflight_instances(self) -> int:
+        """Instances started by this coordinator and not yet decided."""
+        return self._inflight
+
+    @property
+    def queued_starts(self) -> int:
+        """Instance starts waiting for the pipeline window to open."""
+        return len(self._start_queue)
+
+    def _window_has_room(self, count: int) -> bool:
+        depth = self.config.pipeline_depth
+        if depth <= 0:
+            return True
+        if self._inflight == 0:
+            # A single oversized range (e.g. a large skip batch) must not
+            # block forever on a small window.
+            return True
+        return self._inflight + count <= depth
+
+    def enqueue_instances(self, value: Value, count: int) -> None:
+        """Start ``count`` instances for ``value``, respecting the window."""
+        if self._start_queue or not self._window_has_room(count):
+            self._start_queue.append((value, count))
+            if value.is_skip:
+                self.queued_skip_instances += count
+            self.window_stalls += 1
+        else:
+            self._start_instances(value, count)
+
+    def _drain_start_queue(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._start_queue and self._window_has_room(self._start_queue[0][1]):
+                value, count = self._start_queue.popleft()
+                if value.is_skip:
+                    self.queued_skip_instances -= count
+                self._start_instances(value, count)
+        finally:
+            self._draining = False
+
     def _start_instances(self, value: Value, count: int) -> None:
         instance = self.next_instance
         self.next_instance += count
+        self._inflight += count
+        if self._inflight > self.max_inflight:
+            self.max_inflight = self._inflight
         if value.is_skip:
             self.skips_proposed += count
         else:
@@ -166,7 +248,7 @@ class RingRole:
 
     def _on_proposal(self, msg: Proposal) -> None:
         if self.is_coordinator:
-            self.host.after_cpu(msg.value.size_bytes, lambda: self._start_instances(msg.value, 1))
+            self.host.after_cpu(msg.value.size_bytes, lambda: self._intake(msg.value))
         else:
             # Not the coordinator: keep forwarding clockwise.
             self.host.after_cpu(0, lambda: self._forward(msg, origin=msg.value.proposer or self.name))
@@ -257,24 +339,54 @@ class RingRole:
             self.storage.mark_decided(first + offset)
 
     def _learn(self, first: InstanceId, count: int, value: Value) -> None:
+        newly_learned = 0
         for offset in range(count):
             instance = first + offset
             if instance in self._learned:
                 continue
             self._learned.add(instance)
+            newly_learned += 1
             if instance > self.highest_learned:
                 self.highest_learned = instance
             if value.is_skip:
                 self.skips_learned += 1
             else:
                 self.decisions_learned += 1
-            if self.is_learner:
-                self.host.notify_decision(self.group, instance, value)
+            if self.is_learner and instance >= self._next_delivery:
+                self._out_of_order[instance] = value
+        self._release_in_order()
+        if self.is_coordinator and newly_learned:
+            self._inflight = max(0, self._inflight - newly_learned)
+            self._drain_start_queue()
         # Bound the dedup set: everything below the lowest unlearned instance
         # can be forgotten (kept coarse to stay cheap).
         if len(self._learned) > 100000:
             floor = self.highest_learned - 50000
             self._learned = {i for i in self._learned if i >= floor}
+            self._injected = {i for i in self._injected if i >= self._next_delivery}
+
+    def _release_in_order(self) -> None:
+        """Release buffered decisions in instance order (pipelining keeps
+        several instances open, but learners observe a gap-free sequence).
+
+        The cursor also passes over *injected* instances -- supplied through
+        recovery straight to the merge -- without re-notifying them.  It stops
+        at a genuine hole: the missing decision is still circulating and will
+        resume the release when it arrives.
+        """
+        if not self.is_learner:
+            return
+        while True:
+            if self._next_delivery in self._out_of_order:
+                value = self._out_of_order.pop(self._next_delivery)
+                instance = self._next_delivery
+                self._next_delivery += 1
+                self.host.notify_decision(self.group, instance, value)
+            elif self._next_delivery in self._injected:
+                self._injected.discard(self._next_delivery)
+                self._next_delivery += 1
+            else:
+                break
 
     def _forward(self, msg, origin: str) -> None:
         """Forward ``msg`` to the next live ring member, stopping at ``origin``."""
@@ -289,10 +401,42 @@ class RingRole:
         return sorted(self._learned)
 
     def inject_learned(self, instance: InstanceId) -> None:
-        """Mark an instance as already learned (used when installing a checkpoint)."""
+        """Mark one instance as learned outside the ring (recovery retransmission).
+
+        The instance was fed straight into the merge, so the in-order
+        delivery cursor passes over it without a notification -- but only in
+        order: retransmitted instances can be sparse (a decision may still
+        have been circulating when the acceptor served the request), and the
+        cursor must wait at such a hole for the live decision rather than
+        jump it and drop the decision when it arrives.
+        """
         self._learned.add(instance)
         if instance > self.highest_learned:
             self.highest_learned = instance
+        if self.is_learner and instance >= self._next_delivery:
+            # Externally supplied: supersedes any buffered live copy.
+            self._out_of_order.pop(instance, None)
+            self._injected.add(instance)
+            self._release_in_order()
+
+    def fast_forward_delivery(self, next_instance: InstanceId) -> None:
+        """Jump the in-order delivery cursor to ``next_instance``.
+
+        Called when an installed checkpoint covers every instance below
+        ``next_instance``: the gap below the cursor was applied through state
+        transfer, will never circulate again, and must not be waited for.
+        Live decisions already buffered above the new cursor are released.
+        """
+        if not self.is_learner or next_instance <= self._next_delivery:
+            return
+        if next_instance - 1 > self.highest_learned:
+            self.highest_learned = next_instance - 1
+        self._next_delivery = next_instance
+        self._out_of_order = {
+            i: v for i, v in self._out_of_order.items() if i >= next_instance
+        }
+        self._injected = {i for i in self._injected if i >= next_instance}
+        self._release_in_order()
 
     def on_host_crash(self) -> None:
         """Volatile-state handling when the hosting process crashes."""
@@ -302,6 +446,14 @@ class RingRole:
             self.storage = AcceptorStorage(self.host.world.sim, mode=StorageMode.MEMORY)
             if trimmed is not None:
                 self.storage.trim(trimmed)
+        # Volatile coordinator state: the pending batch, the queue of starts
+        # waiting for the window, and the in-flight accounting (decisions for
+        # open instances were dropped while the process was down).
+        if self.batcher is not None:
+            self.batcher.reset()
+        self._start_queue.clear()
+        self.queued_skip_instances = 0
+        self._inflight = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         roles = []

@@ -45,6 +45,8 @@ class DLog:
         config: Optional[MultiRingConfig] = None,
         recovery_config: Optional[RecoveryConfig] = None,
         batching: Optional[BatchingConfig] = None,
+        coordinator_batching: Optional[BatchingConfig] = None,
+        pipeline_depth: Optional[int] = None,
         enable_recovery: bool = False,
         replica_cache_bytes: int = 200 * 1024 * 1024,
     ) -> None:
@@ -57,6 +59,13 @@ class DLog:
         self.batching = batching or BatchingConfig(enabled=False)
         self.use_global_ring = use_global_ring
         self.storage_mode = storage_mode
+        # Per-ring protocol configuration: coordinator-side batching and the
+        # pipelined instance window (None keeps the MultiRingConfig defaults).
+        self._ring_config = self.config.ring.with_storage(storage_mode)
+        if coordinator_batching is not None:
+            self._ring_config = self._ring_config.with_batching(coordinator_batching)
+        if pipeline_depth is not None:
+            self._ring_config = self._ring_config.with_pipeline_depth(pipeline_depth)
         self.deployment = Deployment(world, self.config)
 
         self.groups: Dict[str, GroupId] = {log: f"dlog-{log}" for log in self.logs}
@@ -111,7 +120,8 @@ class DLog:
                     proposers=acceptor_names,
                     learners=replica_names,
                     storage_mode=self.storage_mode,
-                )
+                ),
+                ring_config=self._ring_config,
             )
             self.frontends[group] = acceptor_names
             for name in acceptor_names:
@@ -127,7 +137,8 @@ class DLog:
                     proposers=global_acceptors,
                     learners=replica_names,
                     storage_mode=self.storage_mode,
-                )
+                ),
+                ring_config=self._ring_config,
             )
             self.frontends[self.GLOBAL_GROUP] = global_acceptors
 

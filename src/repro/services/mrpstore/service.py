@@ -69,6 +69,8 @@ class MRPStore:
         config: Optional[MultiRingConfig] = None,
         recovery_config: Optional[RecoveryConfig] = None,
         batching: Optional[BatchingConfig] = None,
+        coordinator_batching: Optional[BatchingConfig] = None,
+        pipeline_depth: Optional[int] = None,
         partition_sites: Optional[Dict[str, str]] = None,
         enable_recovery: bool = False,
         key_space: int = 100000,
@@ -88,6 +90,13 @@ class MRPStore:
         self.storage_mode = storage_mode
         self.key_space = key_space
         self.enable_recovery = enable_recovery
+        # Per-ring protocol configuration: coordinator-side batching and the
+        # pipelined instance window (None keeps the MultiRingConfig defaults).
+        self._ring_config = self.config.ring.with_storage(storage_mode)
+        if coordinator_batching is not None:
+            self._ring_config = self._ring_config.with_batching(coordinator_batching)
+        if pipeline_depth is not None:
+            self._ring_config = self._ring_config.with_pipeline_depth(pipeline_depth)
         self.deployment = Deployment(world, self.config)
 
         partition_names = [f"p{i}" for i in range(partitions)]
@@ -198,6 +207,7 @@ class MRPStore:
                     storage_mode=self.storage_mode,
                 ),
                 sites={name: site for name in members} if site else None,
+                ring_config=self._ring_config,
             )
 
             frontends = [
@@ -230,7 +240,8 @@ class MRPStore:
                     proposers=global_acceptors,
                     learners=global_learners,
                     storage_mode=self.storage_mode,
-                )
+                ),
+                ring_config=self._ring_config,
             )
 
         if enable_recovery:

@@ -23,10 +23,13 @@ class Event:
 
     Instances are returned by :meth:`Simulator.schedule` and can be cancelled
     with :meth:`Simulator.cancel` (or :meth:`Event.cancel`).  Cancelled events
-    stay in the heap but are skipped when popped.
+    stay in the heap and are skipped when popped; when they outnumber the
+    live events the simulator compacts the heap (see
+    :meth:`Simulator._note_cancelled`), so long runs with heavy timer churn
+    (leveling intervals, reconfigurations) keep the calendar queue bounded.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "owner")
 
     def __init__(
         self,
@@ -35,6 +38,7 @@ class Event:
         callback: Callable[..., Any],
         args: tuple,
         kwargs: dict,
+        owner: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -42,10 +46,15 @@ class Event:
         self.args = args
         self.kwargs = kwargs
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -70,12 +79,18 @@ class Simulator:
     :class:`~repro.errors.SimulationError`.
     """
 
+    #: Queues smaller than this are never compacted (the rebuild would cost
+    #: more than the garbage it reclaims).
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -110,7 +125,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at t={time:.6f}, clock is already at t={self._now:.6f}"
             )
-        event = Event(time, next(self._seq), callback, args, kwargs)
+        event = Event(time, next(self._seq), callback, args, kwargs, owner=self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -118,6 +133,31 @@ class Simulator:
         """Cancel a previously scheduled event.  ``None`` is accepted and ignored."""
         if event is not None:
             event.cancel()
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        When cancelled events outnumber live ones the heap is rebuilt without
+        them: long-running experiments with heavy timer churn would otherwise
+        grow the calendar queue without bound.
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) > self.COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -130,6 +170,7 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending = max(0, self._cancelled_pending - 1)
                 continue
             self._now = event.time
             self._processed += 1
@@ -141,6 +182,7 @@ class Simulator:
         """Return the timestamp of the next live event, or ``None`` if idle."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending = max(0, self._cancelled_pending - 1)
         return self._queue[0].time if self._queue else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:

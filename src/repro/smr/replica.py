@@ -24,7 +24,7 @@ from repro.sim.disk import Disk
 from repro.sim.world import World
 from repro.smr.command import Command, CommandBatch, Response
 from repro.smr.state_machine import StateMachine
-from repro.types import GroupId, Value
+from repro.types import GroupId, Value, ValueBatch
 
 __all__ = ["Replica"]
 
@@ -112,15 +112,28 @@ class Replica(MultiRingNode):
     # command execution
     # ------------------------------------------------------------------
     def _execute_delivery(self, delivery: Delivery) -> None:
-        payload = delivery.value.payload
-        if isinstance(payload, CommandBatch):
-            commands: List[Command] = list(payload.commands)
-        elif isinstance(payload, Command):
-            commands = [payload]
-        else:
-            return  # not an SMR value (e.g. a dummy-service payload)
-        for command in commands:
+        for command in self._commands_of(delivery.value.payload):
             self._execute_command(command, delivery.group)
+
+    def _commands_of(self, payload) -> List[Command]:
+        """Flatten a delivered payload into its application commands.
+
+        Handles plain commands, client-side 32 KB command batches, and
+        coordinator-side value batches (normally unpacked by the merge, but a
+        batch value can still reach the replica through direct decision
+        feeds, e.g. in tests) -- including client batches nested inside a
+        coordinator batch.
+        """
+        if isinstance(payload, CommandBatch):
+            return list(payload.commands)
+        if isinstance(payload, Command):
+            return [payload]
+        if isinstance(payload, ValueBatch):
+            commands: List[Command] = []
+            for inner in payload.values:
+                commands.extend(self._commands_of(inner.payload))
+            return commands
+        return []  # not an SMR value (e.g. a dummy-service payload)
 
     def _execute_command(self, command: Command, group: GroupId) -> None:
         if self.command_gate is not None and not self.command_gate(command, group):

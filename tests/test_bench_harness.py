@@ -84,6 +84,19 @@ class TestFigureRunnersSmoke:
         assert StorageMode.MEMORY in DEFAULT_STORAGE_MODES
         assert 32768 in DEFAULT_VALUE_SIZES
 
+    def test_batching_smoke(self):
+        from repro.bench.batching import run_batching
+
+        # Enough closed-loop threads to keep batches full (3 nodes x 8).
+        result = run_batching(
+            batch_sizes=(1, 8), windows=(32,), proposer_threads=8, duration=0.5
+        )
+        unbatched = result["results"][32][1]["throughput_ops"]
+        batched = result["results"][32][8]["throughput_ops"]
+        assert batched > unbatched * 2  # the vertical-scalability knob works
+        assert result["speedup_at_8"] > 2.0
+        assert "Batching sweep" in result["report"]
+
 
 class TestHarnessPresets:
     def test_unknown_experiment_rejected(self):
@@ -106,4 +119,78 @@ class TestHarnessPresets:
             "figure8",
             "ablations",
             "reconfig",
+            "batching",
         }
+
+
+class TestRegressionGate:
+    def test_direction_encoded_in_metric_names(self):
+        from repro.bench.regression import compare_metrics
+
+        baseline = {"metrics": {"x/throughput_ops": 100.0, "x/latency_ms": 10.0}}
+        # Throughput down 30% and latency up 30%: both regress.
+        current = {"metrics": {"x/throughput_ops": 70.0, "x/latency_ms": 13.0}}
+        regressions, improvements = compare_metrics(current, baseline, tolerance=0.2)
+        assert len(regressions) == 2
+        assert improvements == []
+
+    def test_improvement_warns_instead_of_failing(self):
+        from repro.bench.regression import compare_metrics
+
+        baseline = {"metrics": {"x/throughput_ops": 100.0, "x/latency_ms": 10.0}}
+        current = {"metrics": {"x/throughput_ops": 150.0, "x/latency_ms": 5.0}}
+        regressions, improvements = compare_metrics(current, baseline, tolerance=0.2)
+        assert regressions == []
+        assert len(improvements) == 2
+
+    def test_within_tolerance_is_quiet(self):
+        from repro.bench.regression import compare_metrics
+
+        baseline = {"metrics": {"x/throughput_ops": 100.0}}
+        current = {"metrics": {"x/throughput_ops": 90.0}}
+        assert compare_metrics(current, baseline, tolerance=0.2) == ([], [])
+
+    def test_scale_mismatch_refuses_to_compare(self, tmp_path):
+        import json
+
+        from repro.bench import regression
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"scale": "smoke", "metrics": {}}))
+        collected = {"scale": "quick", "metrics": {}}
+        original = regression.collect_smoke_metrics
+        regression.collect_smoke_metrics = lambda scale="smoke": collected
+        try:
+            code = regression.main(
+                [
+                    "--scale", "quick",
+                    "--baseline", str(baseline),
+                    "--output", str(tmp_path / "out.json"),
+                ]
+            )
+        finally:
+            regression.collect_smoke_metrics = original
+        assert code == 2  # config error, not a benchmark regression
+
+    def test_missing_metric_is_a_regression(self):
+        from repro.bench.regression import compare_metrics
+
+        baseline = {"metrics": {"x/throughput_ops": 100.0}}
+        regressions, _ = compare_metrics({"metrics": {}}, baseline, tolerance=0.2)
+        assert len(regressions) == 1
+
+    def test_committed_baseline_matches_gated_metrics(self):
+        import json
+        from pathlib import Path
+
+        baseline_path = Path(__file__).parent.parent / "benchmarks" / "baselines" / "smoke.json"
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["scale"] == "smoke"
+        for name in (
+            "batching/batched_throughput_ops",
+            "batching/unbatched_throughput_ops",
+            "batching/speedup",
+            "figure6/aggregate_ops",
+        ):
+            assert name in baseline["metrics"]
+        assert baseline["metrics"]["batching/speedup"] >= 2.0

@@ -99,6 +99,51 @@ class TestCancellation:
         event.cancel()
         assert sim.peek_time() == 2.0
 
+    def test_mass_cancellation_compacts_the_heap(self):
+        # Cancelled events must not accumulate in the calendar queue forever
+        # (long leveling/reconfiguration runs cancel timers constantly).
+        sim = Simulator()
+        keeper_count = 10
+        for index in range(keeper_count):
+            sim.schedule(1000.0 + index, lambda: None)
+        events = [sim.schedule(1.0 + index * 1e-6, lambda: None) for index in range(500)]
+        assert sim.pending_events == 500 + keeper_count
+        for event in events:
+            event.cancel()
+        # Compaction triggered once cancelled events exceeded half the queue;
+        # only a sub-threshold residue (queues below COMPACT_MIN_QUEUE are
+        # never compacted) may remain.
+        assert sim.compactions >= 1
+        assert sim.pending_events <= keeper_count + Simulator.COMPACT_MIN_QUEUE
+        assert sim.cancelled_pending == sim.pending_events - keeper_count
+        # The surviving events still run in order.
+        sim.run()
+        assert sim.processed_events == keeper_count
+
+    def test_cancelled_counter_drains_when_popped(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + index, lambda: None) for index in range(10)]
+        for event in events[:5]:
+            event.cancel()
+        assert sim.cancelled_pending == 5
+        sim.run()
+        assert sim.cancelled_pending == 0
+        assert sim.processed_events == 5
+
+    def test_compaction_preserves_determinism(self):
+        def run_once(compact: bool) -> list:
+            sim = Simulator()
+            order = []
+            cancelled = [sim.schedule(0.5, lambda: None) for _ in range(200 if compact else 1)]
+            for index in range(5):
+                sim.schedule(1.0, lambda i=index: order.append(i))
+            for event in cancelled:
+                event.cancel()
+            sim.run()
+            return order
+
+        assert run_once(compact=True) == run_once(compact=False) == [0, 1, 2, 3, 4]
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):

@@ -47,19 +47,50 @@ def main(argv=None) -> int:
         default=None,
         help="also dump the raw result dictionaries to this JSON file",
     )
+    parser.add_argument(
+        "--skip",
+        action="append",
+        choices=sorted(EXPERIMENTS),
+        default=None,
+        metavar="EXPERIMENT",
+        help="with 'all': leave this experiment out (repeatable)",
+    )
+    # Convenience aliases so CI recipes read naturally
+    # (``python -m repro.bench chaos --quick``).
+    alias_group = parser.add_mutually_exclusive_group()
+    for alias in SCALES:
+        alias_group.add_argument(
+            f"--{alias}",
+            action="store_const",
+            const=alias,
+            dest="scale_alias",
+            help=f"alias for --scale {alias}",
+        )
     args = parser.parse_args(argv)
+    scale = args.scale_alias or args.scale
 
+    if args.skip and args.experiment != "all":
+        parser.error("--skip only applies to 'all'")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.skip:
+        names = [name for name in names if name not in set(args.skip)]
+        if not names:
+            parser.error("--skip left nothing to run")
     results = {}
+    failed = False
     for name in names:
-        result = run_experiment(name, scale=args.scale)
+        result = run_experiment(name, scale=scale)
         results[name] = result
         print(result["report"])
         print()
+        # Experiments with a pass/fail verdict (the chaos campaign's
+        # invariant checks) gate the exit code so CI lanes can fail on them.
+        if result.get("passed") is False:
+            failed = True
     if args.json is not None:
         args.json.write_text(json.dumps(results, indent=2, sort_keys=True, default=str) + "\n")
         print(f"wrote {args.json}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

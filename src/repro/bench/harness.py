@@ -12,6 +12,7 @@ from typing import Callable, Dict
 
 from repro.bench.ablations import run_merge_granularity_ablation, run_rate_leveling_ablation
 from repro.bench.batching import run_batching
+from repro.bench.chaos import run_chaos
 from repro.bench.figure3 import run_figure3
 from repro.bench.figure4 import run_figure4
 from repro.bench.figure5 import run_figure5
@@ -172,6 +173,16 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 },
             )
         )
+    if name == "chaos":
+        return run_chaos(
+            scale=scale,
+            **_params(
+                scale,
+                smoke={"duration": 10.0, "settle": 2.5},
+                quick={"duration": 12.0, "settle": 3.0},
+                paper={"duration": 30.0, "settle": 5.0},
+            ),
+        )
     if name == "ablations":
         duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
         leveling = run_rate_leveling_ablation(duration=duration)
@@ -195,4 +206,5 @@ EXPERIMENTS = (
     "ablations",
     "reconfig",
     "batching",
+    "chaos",
 )

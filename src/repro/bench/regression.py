@@ -26,7 +26,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import run_experiment
 
@@ -36,12 +36,18 @@ __all__ = ["collect_smoke_metrics", "compare_metrics", "main"]
 DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "smoke.json"
 
 
-def _is_higher_better(metric: str) -> bool:
+def _is_higher_better(metric: str) -> Optional[bool]:
+    """Direction encoded in the metric name, or ``None`` when unknown.
+
+    An unknown direction is reported as a warning and the metric skipped
+    instead of raising: a renamed or experimental metric must not crash the
+    gate for every unrelated change.
+    """
     if metric.endswith("_ops") or metric.endswith("speedup"):
         return True
     if metric.endswith("_ms"):
         return False
-    raise ValueError(f"metric {metric!r} does not encode a direction (_ops/_ms/speedup)")
+    return None
 
 
 def collect_smoke_metrics(scale: str = "smoke") -> Dict:
@@ -69,20 +75,39 @@ def collect_smoke_metrics(scale: str = "smoke") -> Dict:
 
 def compare_metrics(
     current: Dict, baseline: Dict, tolerance: float
-) -> Tuple[List[str], List[str]]:
-    """Compare metric dicts; returns ``(regressions, improvements)`` messages."""
+) -> Tuple[List[str], List[str], List[str]]:
+    """Compare metric dicts; returns ``(regressions, improvements, notes)``.
+
+    ``notes`` carries gate diagnostics -- new metrics without a baseline
+    entry, unusable baseline values, unknown metric directions, a malformed
+    baseline -- which warrant a warning but are neither regressions nor
+    improvements.  A malformed or partially-matching baseline therefore
+    never raises; it degrades to notes.
+    """
     regressions: List[str] = []
     improvements: List[str] = []
+    notes: List[str] = []
     baseline_metrics = baseline.get("metrics", {})
+    if not isinstance(baseline_metrics, dict):
+        notes.append(
+            f"baseline 'metrics' is {type(baseline_metrics).__name__}, "
+            "not a dict; treating every metric as new"
+        )
+        baseline_metrics = {}
     for name, value in current.get("metrics", {}).items():
         if name not in baseline_metrics:
-            improvements.append(f"{name}: no baseline entry (new metric, value {value:.1f})")
+            notes.append(f"{name}: no baseline entry (new metric, value {value:.1f})")
             continue
         reference = baseline_metrics[name]
-        if reference == 0:
+        if not isinstance(reference, (int, float)) or reference == 0:
+            notes.append(f"{name}: unusable baseline value {reference!r}; skipped")
+            continue
+        direction = _is_higher_better(name)
+        if direction is None:
+            notes.append(f"{name}: unknown direction (_ops/_ms/speedup); skipped")
             continue
         ratio = value / reference
-        better = ratio - 1.0 if _is_higher_better(name) else 1.0 - ratio
+        better = ratio - 1.0 if direction else 1.0 - ratio
         detail = f"{name}: {value:.1f} vs baseline {reference:.1f} ({ratio:.2f}x)"
         if better < -tolerance:
             regressions.append(detail)
@@ -91,7 +116,7 @@ def compare_metrics(
     for name in baseline_metrics:
         if name not in current.get("metrics", {}):
             regressions.append(f"{name}: present in baseline but not measured")
-    return regressions, improvements
+    return regressions, improvements, notes
 
 
 def main(argv=None) -> int:
@@ -119,6 +144,15 @@ def main(argv=None) -> int:
         "--update-baseline", action="store_true",
         help="write the collected metrics to the baseline file and exit green",
     )
+    parser.add_argument(
+        "--missing-baseline", choices=("fail", "skip"), default="fail",
+        help=(
+            "what to do when the baseline is missing or was recorded at a "
+            "different scale: 'fail' (default, PR lane) or 'skip' with a "
+            "warning (nightly lane, so new experiments can land before "
+            "their baselines)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     current = collect_smoke_metrics(scale=args.scale)
@@ -134,10 +168,35 @@ def main(argv=None) -> int:
         return 0
 
     if not args.baseline.exists():
+        if args.missing_baseline == "skip":
+            print(
+                f"::warning title=benchmark gate skipped::baseline {args.baseline} "
+                "not found; gate skipped (refresh it with --update-baseline)"
+            )
+            return 0
         print(f"error: baseline {args.baseline} not found; run with --update-baseline", file=sys.stderr)
         return 2
-    baseline = json.loads(args.baseline.read_text())
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except json.JSONDecodeError as error:
+        if args.missing_baseline == "skip":
+            print(
+                f"::warning title=benchmark gate skipped::baseline {args.baseline} "
+                f"is not valid JSON ({error}); gate skipped"
+            )
+            return 0
+        print(f"error: baseline {args.baseline} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(baseline, dict):
+        baseline = {}
     if baseline.get("scale") != current["scale"]:
+        if args.missing_baseline == "skip":
+            print(
+                f"::warning title=benchmark gate skipped::baseline scale "
+                f"{baseline.get('scale')!r} does not match measured scale "
+                f"{current['scale']!r}; gate skipped"
+            )
+            return 0
         print(
             f"error: measured scale {current['scale']!r} does not match baseline "
             f"scale {baseline.get('scale')!r} ({args.baseline}); comparing them "
@@ -145,8 +204,10 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    regressions, improvements = compare_metrics(current, baseline, args.tolerance)
+    regressions, improvements, notes = compare_metrics(current, baseline, args.tolerance)
 
+    for message in notes:
+        print(f"::warning title=benchmark gate note::{message}")
     for message in improvements:
         # GitHub Actions annotation: improvement is a warning, not a failure,
         # so the baseline gets refreshed rather than silently drifting.

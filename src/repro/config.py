@@ -89,6 +89,17 @@ class RingConfig:
     #: Further starts queue until a decision closes an open instance.
     #: ``0`` disables the limit.
     pipeline_depth: int = 128
+    #: Instance-repair interval in seconds; ``0`` disables repair.  When
+    #: enabled, the coordinator periodically re-executes Phase 2 for
+    #: instances it started whose decision it never learned (messages lost
+    #: to crashes or partitions), and learners with a gap in their in-order
+    #: delivery cursor fetch the missing decided instances from an acceptor.
+    #: Required for rings to stay live across the chaos scenarios' injected
+    #: faults; disabled by default so the fault-free benchmarks keep their
+    #: exact message counts.
+    repair_interval: float = 0.0
+    #: Maximum instances re-proposed / re-fetched per repair tick.
+    repair_batch: int = 128
 
     def with_batching(self, batching: BatchingConfig) -> "RingConfig":
         return replace(self, batching=batching)
@@ -98,6 +109,9 @@ class RingConfig:
 
     def with_storage(self, mode: StorageMode) -> "RingConfig":
         return replace(self, storage_mode=mode)
+
+    def with_repair(self, interval: float, batch: int = 128) -> "RingConfig":
+        return replace(self, repair_interval=interval, repair_batch=batch)
 
 
 @dataclass(frozen=True)

@@ -173,11 +173,16 @@ class AcceptorStorage:
         record = self._records.get(instance)
         return record.accepted_value if record is not None else None
 
-    def read_range(self, first: InstanceId, last: InstanceId) -> List[Tuple[InstanceId, Value]]:
+    def read_range(
+        self, first: InstanceId, last: InstanceId, decided_only: bool = False
+    ) -> List[Tuple[InstanceId, Value]]:
         """Accepted values for instances in ``[first, last]`` (for retransmission).
 
-        Raises :class:`StorageError` if any requested instance has been
-        trimmed -- the recovering replica must then fetch a newer checkpoint.
+        With ``decided_only`` the result is restricted to instances this
+        acceptor knows were decided -- the learner gap-repair path must not
+        deliver a value that never reached a quorum.  Raises
+        :class:`StorageError` if any requested instance has been trimmed --
+        the recovering replica must then fetch a newer checkpoint.
         """
         if first > last:
             return []
@@ -190,8 +195,11 @@ class AcceptorStorage:
             if instance < first or instance > last:
                 continue
             record = self._records[instance]
-            if record.accepted_value is not None:
-                result.append((instance, record.accepted_value))
+            if record.accepted_value is None:
+                continue
+            if decided_only and not record.decided:
+                continue
+            result.append((instance, record.accepted_value))
         return result
 
     def trim(self, up_to: InstanceId) -> int:

@@ -242,6 +242,8 @@ class ReplicaRecovery:
         return None
 
     def _on_retransmit_reply(self, sender: str, msg: RetransmitReply) -> None:
+        if msg.token != 0:
+            return  # learner gap-repair traffic, handled by the ring role
         if not self.recovering:
             return
         if msg.trimmed_up_to is not None and not msg.entries:

@@ -80,12 +80,19 @@ class Decision(ProtocolMessage):
 
 @dataclass(frozen=True)
 class RetransmitRequest(ProtocolMessage):
-    """A recovering replica asks an acceptor for decided values it missed."""
+    """A recovering replica asks an acceptor for decided values it missed.
+
+    ``token`` distinguishes the two retransmission clients -- replica
+    recovery (0, the default) and the learner gap-repair path
+    (:data:`~repro.ringpaxos.role.REPAIR_TOKEN`) -- so each handler can
+    ignore replies addressed to the other.
+    """
 
     group: GroupId
     first: InstanceId
     last: InstanceId
     reply_to: str
+    token: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,3 +107,4 @@ class RetransmitReply(ProtocolMessage):
     group: GroupId
     entries: Tuple[Tuple[InstanceId, Value], ...]
     trimmed_up_to: Optional[InstanceId] = None
+    token: int = 0

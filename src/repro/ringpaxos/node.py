@@ -23,7 +23,7 @@ from repro.ringpaxos.messages import (
     RetransmitReply,
     RetransmitRequest,
 )
-from repro.ringpaxos.role import RingRole
+from repro.ringpaxos.role import REPAIR_TOKEN, RingRole
 from repro.sim.cpu import CPU, CPUConfig
 from repro.sim.disk import Disk
 from repro.sim.process import Process
@@ -57,6 +57,7 @@ class RingHost(Process):
         self.roles: Dict[GroupId, RingRole] = {}
         self._decision_sinks: List[DecisionSink] = []
         self._handlers: Dict[type, List[Callable[[str, object], None]]] = {}
+        self._repair_reply_handler_registered = False
 
     # ------------------------------------------------------------------
     # ring membership
@@ -73,6 +74,12 @@ class RingHost(Process):
         descriptor = self.registry.ring(group)
         role = RingRole(self, descriptor, ring_config, disk=disk)
         self.roles[group] = role
+        if role.config.repair_interval > 0:
+            if not self._repair_reply_handler_registered:
+                self._repair_reply_handler_registered = True
+                self.register_handler(RetransmitReply, self._on_repair_retransmit_reply)
+            if self.world.started and self.alive:
+                role.start_repair()
         return role
 
     def role(self, group: GroupId) -> RingRole:
@@ -184,12 +191,35 @@ class RingHost(Process):
     def on_other_message(self, sender: str, payload) -> None:
         """Hook for subclasses: non-ring messages without a registered handler."""
 
+    def _on_repair_retransmit_reply(self, sender: str, msg: RetransmitReply) -> None:
+        """Route gap-repair retransmissions to the owning ring role.
+
+        Replica-recovery replies (token 0) are left to the recovery manager's
+        own handler.
+        """
+        if msg.token != REPAIR_TOKEN:
+            return
+        role = self.roles.get(msg.group)
+        if role is not None:
+            role.on_repair_reply(msg)
+
     # ------------------------------------------------------------------
-    # failure hooks
+    # lifecycle / failure hooks
     # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        super().on_start()
+        for role in self.roles.values():
+            role.start_repair()
+
     def on_crash(self) -> None:
         for role in self.roles.values():
             role.on_host_crash()
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        # Crashing cancelled every timer; re-arm instance repair where enabled.
+        for role in self.roles.values():
+            role.start_repair()
 
     def cpu_utilization_percent(self, start: float, end: float) -> float:
         """Convenience for the Figure 3 coordinator-CPU metric."""

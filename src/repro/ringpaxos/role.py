@@ -26,7 +26,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.config import RingConfig
-from repro.errors import ConsensusError, MulticastError
+from repro.errors import ConsensusError, MulticastError, StorageError
 from repro.paxos.storage import AcceptorStorage
 from repro.paxos.types import Ballot
 from repro.ringpaxos.batching import CoordinatorBatcher
@@ -44,7 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.coordination.registry import RingDescriptor
     from repro.ringpaxos.node import RingHost
 
-__all__ = ["RingRole"]
+__all__ = ["RingRole", "REPAIR_TOKEN"]
+
+#: Token marking retransmission traffic that belongs to the learner
+#: gap-repair path (as opposed to replica recovery, which uses token 0).
+REPAIR_TOKEN = -1
 
 
 class RingRole:
@@ -118,11 +122,23 @@ class RingRole:
         self._out_of_order: Dict[InstanceId, Value] = {}
         self._injected: Set[InstanceId] = set()
 
+        # Instance repair (chaos resilience, enabled by config.repair_interval):
+        # the coordinator re-executes Phase 2 for started-but-undecided
+        # instances, and learners fetch missing decided instances to fill
+        # delivery-cursor gaps left by dropped messages.
+        self._repair_timer = None
+        self._repair_floor: InstanceId = 0
+        self._repair_pending: Set[InstanceId] = set()
+        self._repair_cursor_seen: InstanceId = -1
+
         # Statistics.
         self.values_proposed = 0
         self.skips_proposed = 0
         self.decisions_learned = 0
         self.skips_learned = 0
+        self.repairs_proposed = 0
+        self.gap_requests = 0
+        self.gap_instances_recovered = 0
 
     # ------------------------------------------------------------------
     # proposing
@@ -312,13 +328,24 @@ class RingRole:
         if not self.is_acceptor or self.storage is None:
             return
         try:
-            entries = tuple(self.storage.read_range(msg.first, msg.last))
-            reply = RetransmitReply(group=self.group, entries=entries)
+            entries = tuple(
+                self.storage.read_range(
+                    msg.first,
+                    msg.last,
+                    # Gap repair fills holes in a *live* delivery sequence, so
+                    # it may only receive decided values; replica recovery
+                    # replays above a quorum checkpoint, where the accepted
+                    # value is the decided one by Predicate 1.
+                    decided_only=msg.token == REPAIR_TOKEN,
+                )
+            )
+            reply = RetransmitReply(group=self.group, entries=entries, token=msg.token)
         except Exception:
             reply = RetransmitReply(
                 group=self.group,
                 entries=(),
                 trimmed_up_to=self.storage.trimmed_up_to,
+                token=msg.token,
             )
         payload_bytes = sum(value.size_bytes for _, value in reply.entries)
         self.host.after_cpu(payload_bytes, lambda: self.host.send_direct(msg.reply_to, reply))
@@ -438,6 +465,156 @@ class RingRole:
         self._injected = {i for i in self._injected if i >= next_instance}
         self._release_in_order()
 
+    # ------------------------------------------------------------------
+    # instance repair (crash / partition resilience)
+    # ------------------------------------------------------------------
+    def start_repair(self) -> None:
+        """Arm the periodic instance-repair timer (no-op unless configured).
+
+        Called by the host on start and again on recovery (crashing cancels
+        every timer).  Idempotent while a timer is already armed.
+        """
+        if self.config.repair_interval <= 0:
+            return
+        if not (self.is_coordinator or self.is_learner):
+            return
+        if self._repair_timer is not None and self._repair_timer.active:
+            return
+        self._repair_timer = self.host.set_periodic_timer(
+            self.config.repair_interval, self._repair_tick
+        )
+
+    def _repair_tick(self) -> None:
+        if not self.host.alive:
+            return
+        if self.is_coordinator:
+            self._repair_undecided()
+        if self.is_learner:
+            self._repair_gap()
+
+    def _repair_undecided(self) -> None:
+        """Re-execute Phase 2 for instances started but never decided.
+
+        A crash or partition can eat a ``Phase2`` or ``Decision`` mid-ring,
+        leaving the instance open forever and stalling every learner's
+        in-order cursor behind the hole.  The coordinator re-proposes its own
+        accepted value (logged before the original message left, so a durable
+        log always has it); an instance with no logged vote never put a
+        message on the wire and is filled with a skip.  An instance is only
+        repaired after staying undecided for two consecutive ticks, giving
+        in-flight decisions one repair interval of grace.
+        """
+        while self._repair_floor < self.next_instance and (
+            self._repair_floor in self._learned
+            or (self.storage is not None and self.storage.is_trimmed(self._repair_floor))
+        ):
+            self._repair_floor += 1
+        undecided: List[InstanceId] = []
+        instance = self._repair_floor
+        while instance < self.next_instance and len(undecided) < self.config.repair_batch:
+            if instance not in self._learned:
+                undecided.append(instance)
+            instance += 1
+        due = [i for i in undecided if i in self._repair_pending]
+        self._repair_pending = set(undecided)
+        for instance in due:
+            value: Optional[Value] = None
+            if self.storage is not None:
+                try:
+                    value = self.storage.accepted_value(instance)
+                except StorageError:
+                    continue  # trimmed in the meantime: decided long ago
+            if value is None:
+                value = skip_value(created_at=self.host.now, proposer=self.name)
+            message = Phase2(
+                group=self.group,
+                instance=instance,
+                count=1,
+                ballot=self.ballot,
+                value=value,
+                votes=frozenset([self.name]),
+                origin=self.name,
+            )
+            self.repairs_proposed += 1
+            self._log_vote(message, lambda m=message: self._after_vote(m))
+
+    def _repair_gap(self) -> None:
+        """Fetch decided instances missing below the learner's known horizon.
+
+        A decision dropped downstream of the quorum leaves this learner with
+        a hole below ``highest_learned``.  If the in-order cursor has not
+        moved since the previous tick, ask a live acceptor to retransmit the
+        missing range.  Recovery owns retransmission while it is running.
+        """
+        cursor = self._next_delivery
+        stuck = cursor == self._repair_cursor_seen
+        self._repair_cursor_seen = cursor
+        if not stuck or self.highest_learned <= cursor:
+            return
+        merge = getattr(self.host, "merge", None)
+        if merge is not None and merge.paused:
+            return
+        recovery = getattr(self.host, "recovery", None)
+        if recovery is not None and recovery.recovering:
+            return
+        acceptor = self._live_acceptor()
+        if acceptor is None:
+            return
+        self.gap_requests += 1
+        self.host.send_direct(
+            acceptor,
+            RetransmitRequest(
+                group=self.group,
+                first=cursor,
+                last=min(self.highest_learned, cursor + self.config.repair_batch),
+                reply_to=self.name,
+                token=REPAIR_TOKEN,
+            ),
+        )
+
+    def _live_acceptor(self) -> Optional[str]:
+        """A live, reachable acceptor, rotated across attempts.
+
+        Rotation matters: only acceptors the decision passed through know an
+        instance is decided, so consecutive requests must not keep hitting
+        the same (possibly unknowing) acceptor.
+        """
+        world = self.host.world
+        candidates = [name for name in self.descriptor.acceptors if name != self.name]
+        if not candidates:
+            return None
+        start = self.gap_requests % len(candidates)
+        for offset in range(len(candidates)):
+            name = candidates[(start + offset) % len(candidates)]
+            if world.has_process(name) and world.process(name).alive:
+                if not world.network.link_faulted(self.name, name):
+                    return name
+        return None
+
+    def on_repair_reply(self, msg: RetransmitReply) -> None:
+        """Inject retransmitted instances fetched by :meth:`_repair_gap`."""
+        if (
+            msg.trimmed_up_to is not None
+            and not msg.entries
+            and self._next_delivery <= msg.trimmed_up_to
+        ):
+            # The gap was trimmed from the acceptor logs: those instances are
+            # only recoverable through a checkpoint (Section 5 trim
+            # predicate), so hand the problem to the recovery manager instead
+            # of re-requesting a range no acceptor can serve.
+            recovery = getattr(self.host, "recovery", None)
+            if recovery is not None and not recovery.recovering:
+                self.host.log(
+                    f"gap repair hit trimmed log on {self.group}; starting state transfer"
+                )
+                recovery.begin_recovery()
+            return
+        for instance, value in msg.entries:
+            if instance < self._next_delivery or instance in self._learned:
+                continue
+            self.gap_instances_recovered += 1
+            self._learn(instance, 1, value)
+
     def on_host_crash(self) -> None:
         """Volatile-state handling when the hosting process crashes."""
         if self.storage is not None and self.storage.mode is StorageMode.MEMORY:
@@ -454,6 +631,12 @@ class RingRole:
         self._start_queue.clear()
         self.queued_skip_instances = 0
         self._inflight = 0
+        # Repair bookkeeping: the timer died with the host's other timers;
+        # forget the undecided set so restarted instances get a fresh grace
+        # period before being re-proposed.
+        self._repair_timer = None
+        self._repair_pending = set()
+        self._repair_cursor_seen = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         roles = []

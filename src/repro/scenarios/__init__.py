@@ -1,0 +1,42 @@
+"""Declarative chaos scenarios: WAN presets, fault plans, invariant campaigns.
+
+The subsystem has three layers:
+
+* :mod:`repro.scenarios.topologies` -- named WAN geographies (``wan3``,
+  ``dc8``) compiled into simulator topologies;
+* :mod:`repro.scenarios.faults` -- the :class:`FaultPlan` DSL for timed
+  coordinator/replica crashes, ring-link partitions, disk stalls, latency
+  spikes and NIC isolations;
+* :mod:`repro.scenarios.campaign` -- the :class:`CampaignRunner` that sweeps
+  scenario × fault combinations and checks the global invariants
+  (:mod:`repro.scenarios.invariants`) after each run.
+
+``python -m repro.bench chaos`` is the command-line entry point.
+"""
+
+from repro.scenarios.campaign import CampaignRunner, ScenarioSpec
+from repro.scenarios.faults import (
+    DelaySpike,
+    DiskStall,
+    FaultPlan,
+    LinkPartition,
+    ProcessCrash,
+    ProcessIsolation,
+)
+from repro.scenarios.invariants import InvariantResult
+from repro.scenarios.topologies import TOPOLOGY_PRESETS, TopologyPreset, get_preset
+
+__all__ = [
+    "CampaignRunner",
+    "ScenarioSpec",
+    "FaultPlan",
+    "ProcessCrash",
+    "ProcessIsolation",
+    "LinkPartition",
+    "DiskStall",
+    "DelaySpike",
+    "InvariantResult",
+    "TopologyPreset",
+    "TOPOLOGY_PRESETS",
+    "get_preset",
+]

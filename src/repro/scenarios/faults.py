@@ -1,0 +1,368 @@
+"""The FaultPlan DSL: declarative, timed fault schedules.
+
+A :class:`FaultPlan` is an ordered collection of fault specifications --
+process crashes/restarts, ring-link partitions, disk stalls, message-delay
+spikes, NIC isolations -- compiled at :meth:`FaultPlan.arm` time into timed
+callbacks on a :class:`~repro.sim.failure.FailureInjector`, so every injected
+fault shows up in the injector's applied-event log and the world trace.
+
+Targets may be literal process names or *selectors* resolved when the fault
+fires (not when the plan is written), against the deployment's live state:
+
+* ``coordinator:<group>`` -- the ring's current coordinator, obtained by
+  running :func:`~repro.coordination.election.elect_coordinator` over the
+  ring-ordered acceptors that are alive at that moment;
+* ``replica:<partition>:<index>`` -- the ``index``-th replica of an MRP-Store
+  partition.
+
+Times are absolute simulation seconds from the start of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
+
+from repro.coordination.election import elect_coordinator
+from repro.errors import ConfigurationError
+from repro.sim.failure import FailureInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.multiring.deployment import Deployment
+    from repro.services.mrpstore import MRPStore
+    from repro.sim.world import World
+
+__all__ = [
+    "ProcessCrash",
+    "ProcessIsolation",
+    "LinkPartition",
+    "DiskStall",
+    "DelaySpike",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class ProcessCrash:
+    """Crash a process at ``at``; optionally restart it at ``restart_at``."""
+
+    target: str
+    at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("faults cannot fire before t=0")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ConfigurationError("a restart must happen after the crash")
+
+    @property
+    def end(self) -> float:
+        return self.restart_at if self.restart_at is not None else self.at
+
+
+@dataclass(frozen=True)
+class ProcessIsolation:
+    """Cut a process off the network (NIC/switch fault) without crashing it."""
+
+    target: str
+    at: float
+    rejoin_at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("faults cannot fire before t=0")
+        if self.rejoin_at <= self.at:
+            raise ConfigurationError("a rejoin must happen after the isolation")
+
+    @property
+    def end(self) -> float:
+        return self.rejoin_at
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """Partition every site in ``sites_a`` from every site in ``sites_b``."""
+
+    sites_a: Tuple[str, ...]
+    sites_b: Tuple[str, ...]
+    at: float
+    heal_at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("faults cannot fire before t=0")
+        if self.heal_at <= self.at:
+            raise ConfigurationError("a partition must heal after it starts")
+        if not self.sites_a or not self.sites_b:
+            raise ConfigurationError("both sides of a partition need at least one site")
+
+    @property
+    def end(self) -> float:
+        return self.heal_at
+
+
+@dataclass(frozen=True)
+class DiskStall:
+    """Stall the acceptor disks of one ring for ``duration`` seconds."""
+
+    group: str
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("faults cannot fire before t=0")
+        if self.duration <= 0:
+            raise ConfigurationError("a disk stall needs a positive duration")
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Add one-way latency between two sites for a window of time."""
+
+    site_a: str
+    site_b: str
+    extra_ms: float
+    at: float
+    clear_at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("faults cannot fire before t=0")
+        if self.clear_at <= self.at:
+            raise ConfigurationError("a delay spike must clear after it starts")
+        if self.extra_ms <= 0:
+            raise ConfigurationError("a delay spike needs positive extra latency")
+
+    @property
+    def end(self) -> float:
+        return self.clear_at
+
+
+Fault = Union[ProcessCrash, ProcessIsolation, LinkPartition, DiskStall, DelaySpike]
+
+
+class FaultPlan:
+    """A named, ordered schedule of faults to inject into one run."""
+
+    def __init__(self, name: str, faults: Optional[Sequence[Fault]] = None) -> None:
+        self.name = name
+        self.faults: List[Fault] = list(faults or [])
+
+    # ------------------------------------------------------------------
+    # builder API
+    # ------------------------------------------------------------------
+    def crash(self, target: str, at: float, restart_at: Optional[float] = None) -> "FaultPlan":
+        self.faults.append(ProcessCrash(target, at, restart_at))
+        return self
+
+    def crash_coordinator(
+        self, group: str, at: float, restart_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """Crash the ring's *current* coordinator (resolved when the fault fires)."""
+        return self.crash(f"coordinator:{group}", at, restart_at)
+
+    def crash_replica(
+        self, partition: str, index: int, at: float, restart_at: Optional[float] = None
+    ) -> "FaultPlan":
+        return self.crash(f"replica:{partition}:{index}", at, restart_at)
+
+    def isolate(self, target: str, at: float, rejoin_at: float) -> "FaultPlan":
+        self.faults.append(ProcessIsolation(target, at, rejoin_at))
+        return self
+
+    def partition(
+        self,
+        sites_a: Sequence[str],
+        sites_b: Sequence[str],
+        at: float,
+        heal_at: float,
+    ) -> "FaultPlan":
+        self.faults.append(LinkPartition(tuple(sites_a), tuple(sites_b), at, heal_at))
+        return self
+
+    def disk_stall(self, group: str, at: float, duration: float) -> "FaultPlan":
+        self.faults.append(DiskStall(group, at, duration))
+        return self
+
+    def delay_spike(
+        self, site_a: str, site_b: str, extra_ms: float, at: float, clear_at: float
+    ) -> "FaultPlan":
+        self.faults.append(DelaySpike(site_a, site_b, extra_ms, at, clear_at))
+        return self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def end_time(self) -> float:
+        """The time of the last fault transition (all faults healed after this)."""
+        return max((fault.end for fault in self.faults), default=0.0)
+
+    def replica_restarts(self) -> int:
+        """How many replica crash faults schedule a restart (recovery runs)."""
+        return sum(
+            1
+            for fault in self.faults
+            if isinstance(fault, ProcessCrash)
+            and fault.restart_at is not None
+            and fault.target.startswith("replica:")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.name!r}, {len(self.faults)} faults)"
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        world: "World",
+        deployment: Optional["Deployment"] = None,
+        store: Optional["MRPStore"] = None,
+    ) -> FailureInjector:
+        """Compile the plan into timed actions on a fresh failure injector.
+
+        Selector targets are resolved when their fault fires, against the
+        live state of the deployment at that moment.  ``deployment`` and
+        ``store`` are only required for plans using selector targets or
+        disk stalls; plans over literal process names work without them.
+        """
+        injector = FailureInjector(world)
+        # Crash targets resolved at fire time, remembered for the restart leg.
+        resolved: Dict[int, str] = {}
+        for index, fault in enumerate(self.faults):
+            if isinstance(fault, ProcessCrash):
+                self._arm_crash(injector, world, deployment, store, index, fault, resolved)
+            elif isinstance(fault, ProcessIsolation):
+                self._arm_isolation(injector, world, deployment, store, index, fault, resolved)
+            elif isinstance(fault, LinkPartition):
+                injector.schedule_callback(
+                    fault.at,
+                    f"partition {'/'.join(fault.sites_a)} | {'/'.join(fault.sites_b)}",
+                    lambda f=fault: world.network.partition_sites(f.sites_a, f.sites_b),
+                )
+                injector.schedule_callback(
+                    fault.heal_at,
+                    f"heal {'/'.join(fault.sites_a)} | {'/'.join(fault.sites_b)}",
+                    lambda f=fault: world.network.heal_sites(f.sites_a, f.sites_b),
+                )
+            elif isinstance(fault, DiskStall):
+                injector.schedule_callback(
+                    fault.at,
+                    f"disk stall {fault.group} for {fault.duration:g}s",
+                    lambda f=fault: self._stall_disks(deployment, f),
+                )
+            elif isinstance(fault, DelaySpike):
+                injector.schedule_callback(
+                    fault.at,
+                    f"delay spike {fault.site_a}<->{fault.site_b} +{fault.extra_ms:g}ms",
+                    lambda f=fault: world.network.set_extra_latency(
+                        f.site_a, f.site_b, f.extra_ms * 1e-3
+                    ),
+                )
+                injector.schedule_callback(
+                    fault.clear_at,
+                    f"delay clear {fault.site_a}<->{fault.site_b}",
+                    lambda f=fault: world.network.clear_extra_latency(f.site_a, f.site_b),
+                )
+        return injector
+
+    # ------------------------------------------------------------------
+    def _arm_crash(
+        self,
+        injector: FailureInjector,
+        world: "World",
+        deployment: "Deployment",
+        store: Optional["MRPStore"],
+        index: int,
+        fault: ProcessCrash,
+        resolved: Dict[int, str],
+    ) -> None:
+        def do_crash() -> None:
+            name = _resolve_target(fault.target, world, deployment, store)
+            resolved[index] = name
+            injector.crash_now(name)
+
+        injector.schedule_callback(fault.at, f"crash {fault.target}", do_crash)
+        if fault.restart_at is not None:
+
+            def do_restart() -> None:
+                name = resolved.get(index)
+                if name is not None:
+                    injector.recover_now(name)
+
+            injector.schedule_callback(fault.restart_at, f"restart {fault.target}", do_restart)
+
+    def _arm_isolation(
+        self,
+        injector: FailureInjector,
+        world: "World",
+        deployment: "Deployment",
+        store: Optional["MRPStore"],
+        index: int,
+        fault: ProcessIsolation,
+        resolved: Dict[int, str],
+    ) -> None:
+        def do_isolate() -> None:
+            name = _resolve_target(fault.target, world, deployment, store)
+            resolved[index] = name
+            world.network.isolate(name)
+
+        def do_rejoin() -> None:
+            name = resolved.get(index)
+            if name is not None:
+                world.network.rejoin(name)
+
+        injector.schedule_callback(fault.at, f"isolate {fault.target}", do_isolate)
+        injector.schedule_callback(fault.rejoin_at, f"rejoin {fault.target}", do_rejoin)
+
+    @staticmethod
+    def _stall_disks(deployment: Optional["Deployment"], fault: DiskStall) -> None:
+        if deployment is None:
+            raise ConfigurationError(
+                f"cannot stall disks of {fault.group!r}: the fault plan was "
+                "armed without a deployment"
+            )
+        descriptor = deployment.ring(fault.group)
+        for acceptor in descriptor.acceptors:
+            disk = deployment.ring_disk(fault.group, acceptor)
+            if disk is not None:
+                disk.stall(fault.duration)
+
+
+def _resolve_target(
+    target: str,
+    world: "World",
+    deployment: Optional["Deployment"],
+    store: Optional["MRPStore"],
+) -> str:
+    """Resolve a fault target (literal name or selector) to a process name."""
+    if target.startswith("coordinator:"):
+        if deployment is None:
+            raise ConfigurationError(
+                f"cannot resolve {target!r}: the fault plan was armed without a deployment"
+            )
+        group = target.split(":", 1)[1]
+        descriptor = deployment.registry.ring(group)
+        acceptor_set = set(descriptor.acceptors)
+        acceptors_in_order = [
+            name for name in descriptor.overlay.members if name in acceptor_set
+        ]
+        return elect_coordinator(
+            acceptors_in_order,
+            lambda name: world.has_process(name) and world.process(name).alive,
+        )
+    if target.startswith("replica:"):
+        _, partition, index = target.split(":", 2)
+        if store is None:
+            raise ConfigurationError(
+                f"cannot resolve {target!r}: the fault plan was armed without a store"
+            )
+        replicas = store.replicas_of(partition)
+        return replicas[int(index) % len(replicas)].name
+    return target

@@ -1,0 +1,178 @@
+"""Global invariant checks run after every chaos scenario.
+
+The campaign runner evaluates these against the quiesced deployment at the
+end of each run:
+
+* **no-acked-write-lost** -- every live replica has executed at least as many
+  updates as its partition's clients got acknowledgements for (an ack may
+  only follow execution; duplicates from client retries can push execution
+  counts higher, never lower);
+* **replica-convergence** -- all live replicas of a partition hold identical
+  state digests (same keys, sizes and versions);
+* **merge-liveness** -- every live replica delivered from every ring it
+  subscribes to (no ring silently dropped out of the round-robin merge);
+* **bounded-delivery-skew** -- within each live replica, the per-ring
+  delivery cursors stay within M instances of each other (the round-robin
+  merge consumes M instances per ring per round, so a larger spread means
+  the merge wedged on a hole);
+* **recovery-complete** -- every replica crash/restart in the fault plan ran
+  the Section 5 recovery protocol to completion, and nobody is left with a
+  paused merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.services.mrpstore import MRPStore
+    from repro.smr.replica import Replica
+
+__all__ = [
+    "InvariantResult",
+    "replica_digest",
+    "executed_updates",
+    "live_replicas",
+    "check_no_acked_write_lost",
+    "check_replica_convergence",
+    "check_merge_liveness",
+    "check_delivery_skew",
+    "check_recovery_complete",
+]
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "passed": self.passed, "detail": self.detail}
+
+
+def replica_digest(replica: "Replica") -> str:
+    """A digest of the replica's application state (keys, sizes, versions)."""
+    machine = replica.state_machine
+    items = tuple(
+        (key, machine.value_size_of(key), machine.version_of(key))
+        for key in machine.keys()
+    )
+    return hashlib.sha1(repr(items).encode()).hexdigest()[:16]
+
+
+def executed_updates(replica: "Replica") -> int:
+    """Updates executed by the replica: version increments above the loaded 1."""
+    machine = replica.state_machine
+    return sum(max(0, (machine.version_of(key) or 1) - 1) for key in machine.keys())
+
+
+def live_replicas(store: "MRPStore", partition: str) -> List["Replica"]:
+    """The partition's replicas that are up and not mid-recovery."""
+    result = []
+    for replica in store.replicas_of(partition):
+        if not replica.alive:
+            continue
+        if replica.recovery is not None and replica.recovery.recovering:
+            continue
+        result.append(replica)
+    return result
+
+
+def check_no_acked_write_lost(
+    store: "MRPStore", acked_by_partition: Dict[str, int]
+) -> InvariantResult:
+    failures = []
+    for partition, acked in sorted(acked_by_partition.items()):
+        for replica in live_replicas(store, partition):
+            executed = executed_updates(replica)
+            if executed < acked:
+                failures.append(
+                    f"{replica.name}: executed {executed} updates < {acked} acked"
+                )
+    if failures:
+        return InvariantResult("no-acked-write-lost", False, "; ".join(failures))
+    total = sum(acked_by_partition.values())
+    return InvariantResult(
+        "no-acked-write-lost", True, f"{total} acked updates all executed"
+    )
+
+
+def check_replica_convergence(store: "MRPStore") -> InvariantResult:
+    failures = []
+    for partition in sorted(store.partitions):
+        replicas = live_replicas(store, partition)
+        digests = {replica.name: replica_digest(replica) for replica in replicas}
+        if len(set(digests.values())) > 1:
+            failures.append(f"{partition}: divergent digests {digests}")
+    if failures:
+        return InvariantResult("replica-convergence", False, "; ".join(failures))
+    return InvariantResult(
+        "replica-convergence", True, "live replicas agree in every partition"
+    )
+
+
+def check_merge_liveness(store: "MRPStore") -> InvariantResult:
+    failures = []
+    for partition in sorted(store.partitions):
+        for replica in live_replicas(store, partition):
+            cursor = replica.delivery_cursor()
+            stalled = [group for group in replica.subscriptions if cursor.get(group, 0) <= 0]
+            if stalled:
+                failures.append(f"{replica.name}: nothing delivered from {stalled}")
+            if replica.merge.paused:
+                failures.append(f"{replica.name}: merge still paused")
+    if failures:
+        return InvariantResult("merge-liveness", False, "; ".join(failures))
+    return InvariantResult(
+        "merge-liveness", True, "every live replica delivered from every ring"
+    )
+
+
+def check_delivery_skew(store: "MRPStore", bound: Optional[int] = None) -> InvariantResult:
+    limit = bound if bound is not None else store.config.m
+    failures = []
+    worst = 0
+    for partition in sorted(store.partitions):
+        for replica in live_replicas(store, partition):
+            cursor = replica.delivery_cursor()
+            positions = [cursor.get(group, 0) for group in replica.subscriptions]
+            if len(positions) < 2:
+                continue
+            skew = max(positions) - min(positions)
+            worst = max(worst, skew)
+            if skew > limit:
+                failures.append(
+                    f"{replica.name}: cross-ring cursor skew {skew} > {limit} ({cursor})"
+                )
+    if failures:
+        return InvariantResult("bounded-delivery-skew", False, "; ".join(failures))
+    return InvariantResult(
+        "bounded-delivery-skew", True, f"worst cross-ring skew {worst} <= {limit}"
+    )
+
+
+def check_recovery_complete(store: "MRPStore", expected_recoveries: int) -> InvariantResult:
+    completed = store.world.monitor.counter("recovery/completed")
+    stuck = [
+        replica.name
+        for replica in store.all_replicas()
+        if replica.alive and replica.recovery is not None and replica.recovery.recovering
+    ]
+    if stuck:
+        return InvariantResult(
+            "recovery-complete", False, f"still recovering: {', '.join(stuck)}"
+        )
+    if completed < expected_recoveries:
+        return InvariantResult(
+            "recovery-complete",
+            False,
+            f"{completed} recoveries completed < {expected_recoveries} restarts",
+        )
+    return InvariantResult(
+        "recovery-complete", True, f"{completed} recoveries completed"
+    )

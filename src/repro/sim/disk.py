@@ -105,6 +105,8 @@ class Disk:
         self._busy_time = 0.0
         self.bytes_written = 0
         self.ops = 0
+        self.stalls = 0
+        self.stalled_seconds = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +139,21 @@ class Disk:
         self._busy_time += service
         self.bytes_written += nbytes
         self.ops += 1
+        return self._busy_until
+
+    def stall(self, duration: float) -> float:
+        """Make the device unresponsive for ``duration`` seconds (fault injection).
+
+        Models a controller hiccup / GC pause / degraded RAID rebuild: every
+        write issued during (or queued behind) the stall completes only after
+        the device comes back.  Returns the time the device becomes free.
+        """
+        if duration < 0:
+            raise StorageError("a disk stall cannot have a negative duration")
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + duration
+        self.stalls += 1
+        self.stalled_seconds += duration
         return self._busy_until
 
     def write(self, nbytes: int, callback: Optional[Callable[[], None]] = None) -> float:

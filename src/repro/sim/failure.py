@@ -17,7 +17,7 @@ from repro.errors import ConfigurationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.world import World
 
-__all__ = ["FailureEvent", "FailureSchedule", "FailureInjector"]
+__all__ = ["FailureEvent", "FailureSchedule", "FailureInjector", "ChaosAction"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,20 @@ class FailureSchedule:
         return sorted(self.events, key=lambda event: (event.time, event.action))
 
 
+@dataclass(frozen=True)
+class ChaosAction:
+    """A generic timed fault action applied by the injector.
+
+    Crash/recover cover process failures; everything else the chaos engine
+    injects (partitions, disk stalls, latency spikes, ...) is an arbitrary
+    callback recorded under a human-readable label so that scenario traces
+    list every injected fault with its firing time.
+    """
+
+    time: float
+    label: str
+
+
 class FailureInjector:
     """Applies a :class:`FailureSchedule` to the processes of a world."""
 
@@ -66,6 +80,7 @@ class FailureInjector:
         self.world = world
         self.schedule = schedule or FailureSchedule()
         self.applied: List[FailureEvent] = []
+        self.applied_actions: List[ChaosAction] = []
         self._on_crash: List[Callable[[str], None]] = []
         self._on_recover: List[Callable[[str], None]] = []
 
@@ -94,6 +109,22 @@ class FailureInjector:
         self.world.trace.record(self.world.sim.now, "failure-injector", f"{event.action} {event.process}")
         for callback in callbacks:
             callback(event.process)
+
+    def schedule_callback(self, time: float, label: str, callback: Callable[[], None]) -> None:
+        """Schedule an arbitrary fault action at ``time`` (chaos engine hook).
+
+        The action is recorded in :attr:`applied_actions` and the world trace
+        when it fires, exactly like crash/recover events, so a scenario run
+        leaves a complete, ordered fault log.
+        """
+        if time < 0:
+            raise ConfigurationError("fault actions cannot be scheduled before t=0")
+        self.world.sim.schedule_at(time, self._apply_callback, label, callback)
+
+    def _apply_callback(self, label: str, callback: Callable[[], None]) -> None:
+        self.applied_actions.append(ChaosAction(self.world.sim.now, label))
+        self.world.trace.record(self.world.sim.now, "failure-injector", label)
+        callback()
 
     def crash_now(self, process: str) -> None:
         """Immediately crash a process (outside of any schedule)."""

@@ -18,7 +18,7 @@ connection; the protocols above re-establish state through recovery).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.errors import NetworkError
 from repro.sim.engine import Simulator
@@ -76,6 +76,13 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        # Fault-injection state (driven by the chaos scenario engine): site
+        # pairs whose links are partitioned, processes cut off entirely, and
+        # per-site-pair extra one-way latency ("WAN weather").
+        self._blocked_site_pairs: Set[FrozenSet[str]] = set()
+        self._isolated: Set[str] = set()
+        self._extra_latency: Dict[FrozenSet[str], float] = {}
+        self.messages_blocked = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -102,6 +109,71 @@ class Network:
         return name in self._processes
 
     # ------------------------------------------------------------------
+    # fault injection (chaos scenarios)
+    # ------------------------------------------------------------------
+    def _check_site(self, site: str) -> None:
+        if not self.topology.has_site(site):
+            raise NetworkError(f"unknown site {site!r} in fault injection")
+
+    def block_sites(self, site_a: str, site_b: str) -> None:
+        """Partition the link between two sites: messages crossing it are dropped.
+
+        Messages already in flight when the partition starts are still
+        delivered (a real partition does not eat packets retroactively);
+        everything sent afterwards is dropped until :meth:`unblock_sites`.
+        """
+        self._check_site(site_a)
+        self._check_site(site_b)
+        self._blocked_site_pairs.add(frozenset((site_a, site_b)))
+
+    def unblock_sites(self, site_a: str, site_b: str) -> None:
+        """Heal a partition created with :meth:`block_sites` (idempotent)."""
+        self._blocked_site_pairs.discard(frozenset((site_a, site_b)))
+
+    def partition_sites(self, sites_a: Iterable[str], sites_b: Iterable[str]) -> None:
+        """Partition every site in ``sites_a`` from every site in ``sites_b``."""
+        for site_a in sites_a:
+            for site_b in sites_b:
+                self.block_sites(site_a, site_b)
+
+    def heal_sites(self, sites_a: Iterable[str], sites_b: Iterable[str]) -> None:
+        """Heal a partition created with :meth:`partition_sites`."""
+        for site_a in sites_a:
+            for site_b in sites_b:
+                self.unblock_sites(site_a, site_b)
+
+    def isolate(self, name: str) -> None:
+        """Cut a process off the network without crashing it (NIC/switch fault)."""
+        if name not in self._processes:
+            raise NetworkError(f"cannot isolate unknown process {name!r}")
+        self._isolated.add(name)
+
+    def rejoin(self, name: str) -> None:
+        """Reconnect a process isolated with :meth:`isolate` (idempotent)."""
+        self._isolated.discard(name)
+
+    def set_extra_latency(self, site_a: str, site_b: str, extra_seconds: float) -> None:
+        """Add one-way latency on top of the topology between two sites."""
+        if extra_seconds < 0:
+            raise NetworkError("extra latency cannot be negative")
+        self._check_site(site_a)
+        self._check_site(site_b)
+        self._extra_latency[frozenset((site_a, site_b))] = extra_seconds
+
+    def clear_extra_latency(self, site_a: str, site_b: str) -> None:
+        """Remove a latency spike set with :meth:`set_extra_latency` (idempotent)."""
+        self._extra_latency.pop(frozenset((site_a, site_b)), None)
+
+    def link_faulted(self, src: str, dst: str) -> bool:
+        """True when a message from ``src`` to ``dst`` would currently be dropped."""
+        if src in self._isolated or dst in self._isolated:
+            return True
+        if not self._blocked_site_pairs:
+            return False
+        pair = frozenset((self._sites[src], self._sites[dst]))
+        return pair in self._blocked_site_pairs
+
+    # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> float:
@@ -115,11 +187,18 @@ class Network:
             raise NetworkError(f"unknown sender {src!r}")
         if dst not in self._processes:
             raise NetworkError(f"unknown destination {dst!r}")
+        if self.link_faulted(src, dst):
+            # Partitioned link or isolated endpoint: TCP would stall and
+            # eventually reset; the protocols recover through retransmission.
+            self.messages_blocked += 1
+            return self.sim.now
         wire_bytes = max(0, size_bytes) + self.config.per_message_overhead_bytes
         src_site = self._sites[src]
         dst_site = self._sites[dst]
         bandwidth = self.topology.bandwidth(src_site, dst_site)
         propagation = self.topology.latency(src_site, dst_site)
+        if self._extra_latency:
+            propagation += self._extra_latency.get(frozenset((src_site, dst_site)), 0.0)
         transmit_time = wire_bytes * 8.0 / bandwidth
 
         now = self.sim.now

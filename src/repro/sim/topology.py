@@ -21,7 +21,14 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Topology", "lan_topology", "wan_topology", "EC2_REGION_RTT_MS", "EC2_REGIONS"]
+__all__ = [
+    "Topology",
+    "lan_topology",
+    "wan_topology",
+    "matrix_topology",
+    "EC2_REGION_RTT_MS",
+    "EC2_REGIONS",
+]
 
 
 #: Approximate inter-region round-trip times in milliseconds for the four
@@ -115,6 +122,44 @@ def lan_topology(
 ) -> Topology:
     """The paper's local cluster: one site, 0.1 ms RTT, 10 Gbps links."""
     return Topology([site], default_latency=rtt / 2.0, default_bandwidth_bps=bandwidth_bps)
+
+
+def matrix_topology(
+    sites: Iterable[str],
+    rtt_ms: Dict[Tuple[str, str], float],
+    default_rtt_ms: float = 100.0,
+    intra_site_rtt: float = 0.5e-3,
+    intra_site_bandwidth_bps: float = 1e9,
+    inter_site_bandwidth_bps: float = 200e6,
+    bandwidth_bps: Optional[Dict[Tuple[str, str], float]] = None,
+) -> Topology:
+    """Build a topology from an explicit pairwise RTT matrix.
+
+    ``rtt_ms`` maps unordered site pairs to round-trip times in milliseconds;
+    missing pairs fall back to ``default_rtt_ms``.  ``bandwidth_bps`` may
+    override individual links.  This is the generic factory behind the WAN
+    presets used by the chaos scenario engine (:mod:`repro.scenarios`).
+    """
+    site_list = list(dict.fromkeys(sites))
+    topo = Topology(
+        site_list,
+        default_latency=intra_site_rtt / 2.0,
+        default_bandwidth_bps=intra_site_bandwidth_bps,
+    )
+    overrides = bandwidth_bps or {}
+    for i, site_a in enumerate(site_list):
+        for site_b in site_list[i + 1 :]:
+            pair_rtt = rtt_ms.get((site_a, site_b), rtt_ms.get((site_b, site_a), default_rtt_ms))
+            bandwidth = overrides.get(
+                (site_a, site_b), overrides.get((site_b, site_a), inter_site_bandwidth_bps)
+            )
+            topo.set_link(
+                site_a,
+                site_b,
+                latency=pair_rtt * 1e-3 / 2.0,
+                bandwidth_bps=bandwidth,
+            )
+    return topo
 
 
 def wan_topology(

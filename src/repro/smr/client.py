@@ -61,21 +61,31 @@ class ClosedLoopClient(Process):
         series: str = "client",
         think_time: float = 0.0,
         rng: Optional[random.Random] = None,
+        retry_timeout: float = 0.0,
     ) -> None:
         super().__init__(world, name, site)
         if threads < 1:
             raise WorkloadError("a client needs at least one thread")
+        if retry_timeout < 0:
+            raise WorkloadError("the retry timeout cannot be negative")
         self.workload = workload
         self.frontends = dict(frontends)
         self.threads = threads
         self.series = series
         self.think_time = think_time
+        #: When positive, a request outstanding longer than this many seconds
+        #: is re-submitted (same command, so replicas stay consistent).  Needed
+        #: under fault injection: a command lost to a crash or partition would
+        #: otherwise block its closed-loop thread forever.
+        self.retry_timeout = retry_timeout
         self.rng = rng or world.rng.stream(f"client:{name}")
         self._outstanding: Dict[int, Request] = {}
         self._responses_seen: Dict[int, set] = {}
         self._sent_at: Dict[int, float] = {}
+        self._retry_timers: Dict[int, object] = {}
         self.completed = 0
         self.issued = 0
+        self.retries = 0
 
     # ------------------------------------------------------------------
     def on_start(self) -> None:
@@ -101,6 +111,26 @@ class ClosedLoopClient(Process):
         self._sent_at[command.command_id] = self.now
         self.issued += 1
         self.send(frontend, SubmitCommand(group=request.group, command=command))
+        if self.retry_timeout > 0:
+            self._retry_timers[command.command_id] = self.set_timer(
+                self.retry_timeout, self._maybe_retry, command, request.group, frontend
+            )
+
+    def _maybe_retry(self, command, group: GroupId, frontend: str) -> None:
+        """Re-submit a request that has been outstanding past the timeout.
+
+        The *same* command object is re-sent (same command id): replicas
+        execute whatever the decided sequence contains, so a duplicate that
+        makes it through consensus twice is applied identically everywhere,
+        and the client ignores responses after the first completion.
+        """
+        if command.command_id not in self._outstanding or not self.alive:
+            return
+        self.retries += 1
+        self.send(frontend, SubmitCommand(group=group, command=command))
+        self._retry_timers[command.command_id] = self.set_timer(
+            self.retry_timeout, self._maybe_retry, command, group, frontend
+        )
 
     # ------------------------------------------------------------------
     def on_message(self, sender: str, payload) -> None:
@@ -118,6 +148,9 @@ class ClosedLoopClient(Process):
         sent_at = self._sent_at.pop(payload.command_id)
         del self._outstanding[payload.command_id]
         del self._responses_seen[payload.command_id]
+        timer = self._retry_timers.pop(payload.command_id, None)
+        if timer is not None:
+            timer.cancel()
         self.completed += 1
         latency = self.now - sent_at
         series = request.series or self.series

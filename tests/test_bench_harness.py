@@ -120,6 +120,7 @@ class TestHarnessPresets:
             "ablations",
             "reconfig",
             "batching",
+            "chaos",
         }
 
 
@@ -130,25 +131,25 @@ class TestRegressionGate:
         baseline = {"metrics": {"x/throughput_ops": 100.0, "x/latency_ms": 10.0}}
         # Throughput down 30% and latency up 30%: both regress.
         current = {"metrics": {"x/throughput_ops": 70.0, "x/latency_ms": 13.0}}
-        regressions, improvements = compare_metrics(current, baseline, tolerance=0.2)
+        regressions, improvements, notes = compare_metrics(current, baseline, tolerance=0.2)
         assert len(regressions) == 2
-        assert improvements == []
+        assert improvements == [] and notes == []
 
     def test_improvement_warns_instead_of_failing(self):
         from repro.bench.regression import compare_metrics
 
         baseline = {"metrics": {"x/throughput_ops": 100.0, "x/latency_ms": 10.0}}
         current = {"metrics": {"x/throughput_ops": 150.0, "x/latency_ms": 5.0}}
-        regressions, improvements = compare_metrics(current, baseline, tolerance=0.2)
+        regressions, improvements, notes = compare_metrics(current, baseline, tolerance=0.2)
         assert regressions == []
-        assert len(improvements) == 2
+        assert len(improvements) == 2 and notes == []
 
     def test_within_tolerance_is_quiet(self):
         from repro.bench.regression import compare_metrics
 
         baseline = {"metrics": {"x/throughput_ops": 100.0}}
         current = {"metrics": {"x/throughput_ops": 90.0}}
-        assert compare_metrics(current, baseline, tolerance=0.2) == ([], [])
+        assert compare_metrics(current, baseline, tolerance=0.2) == ([], [], [])
 
     def test_scale_mismatch_refuses_to_compare(self, tmp_path):
         import json
@@ -176,7 +177,7 @@ class TestRegressionGate:
         from repro.bench.regression import compare_metrics
 
         baseline = {"metrics": {"x/throughput_ops": 100.0}}
-        regressions, _ = compare_metrics({"metrics": {}}, baseline, tolerance=0.2)
+        regressions, _, _ = compare_metrics({"metrics": {}}, baseline, tolerance=0.2)
         assert len(regressions) == 1
 
     def test_committed_baseline_matches_gated_metrics(self):

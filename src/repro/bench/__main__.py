@@ -21,6 +21,33 @@ from repro.bench.harness import EXPERIMENTS, SCALES, run_experiment
 
 __all__ = ["main"]
 
+#: Hotspots printed by ``--cprofile``.
+PROFILE_TOP_N = 25
+
+
+def _run_profiled(name: str, scale: str):
+    """Run one experiment under cProfile, printing the top cumulative hotspots.
+
+    This is the profiling entry point the performance guide in
+    CONTRIBUTING.md points at: when the perf gate regresses, rerun the
+    offending experiment with ``--cprofile`` and compare the table against a
+    good commit.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(name, scale=scale)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"--- cProfile: top {PROFILE_TOP_N} by cumulative time ({name}, {scale}) ---")
+        stats.print_stats(PROFILE_TOP_N)
+    return result
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -55,6 +82,14 @@ def main(argv=None) -> int:
         metavar="EXPERIMENT",
         help="with 'all': leave this experiment out (repeatable)",
     )
+    parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help=(
+            f"run under cProfile and dump the top {PROFILE_TOP_N} cumulative "
+            "hotspots per experiment (see CONTRIBUTING.md, 'Profiling')"
+        ),
+    )
     # Convenience aliases so CI recipes read naturally
     # (``python -m repro.bench chaos --quick``).
     alias_group = parser.add_mutually_exclusive_group()
@@ -79,7 +114,10 @@ def main(argv=None) -> int:
     results = {}
     failed = False
     for name in names:
-        result = run_experiment(name, scale=scale)
+        if args.cprofile:
+            result = _run_profiled(name, scale)
+        else:
+            result = run_experiment(name, scale=scale)
         results[name] = result
         print(result["report"])
         print()

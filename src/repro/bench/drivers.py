@@ -12,7 +12,7 @@ from typing import Dict, Optional, Set
 
 from repro.multiring.merge import Delivery
 from repro.multiring.node import MultiRingNode
-from repro.types import GroupId
+from repro.types import GroupId, Value
 
 __all__ = ["ClosedLoopProposerDriver"]
 
@@ -43,30 +43,38 @@ class ClosedLoopProposerDriver:
         self.payload_tag = payload_tag or f"dummy-{node.name}"
         self._outstanding: Set[int] = set()
         self.completed = 0
-        node.on_deliver(self._on_delivery)
+        self._sim = node.world.sim
+        self._monitor = node.world.monitor
+        node.on_deliver(self._on_delivery, group=group)
 
     def start(self) -> None:
         """Issue the initial window of proposals.  Call after the world started."""
+        # Resolve the ring role once: the driver proposes through it on
+        # every completion (multicast() would redo the membership lookups).
+        self._role = self.node.role(self.group)
         for _ in range(self.threads):
             self._propose()
 
     def _propose(self) -> None:
-        if not self.node.alive:
+        node = self.node
+        if not node.alive:
             return
-        value = self.node.multicast(self.group, self.payload_tag, self.value_size)
+        value = Value.create(
+            self.payload_tag, self.value_size, proposer=node.name, created_at=self._sim._now
+        )
+        self._role.propose(value)
         self._outstanding.add(value.uid)
 
     def _on_delivery(self, delivery: Delivery) -> None:
-        uid = delivery.value.uid
-        if uid not in self._outstanding:
+        value = delivery.value
+        uid = value.uid
+        outstanding = self._outstanding
+        if uid not in outstanding:
             return
-        self._outstanding.discard(uid)
+        outstanding.discard(uid)
         self.completed += 1
-        latency = self.node.now - delivery.value.created_at
-        self.node.world.monitor.record_operation(
-            self.series,
-            completion_time=self.node.now,
-            latency=latency,
-            size_bytes=delivery.value.size_bytes,
+        now = self._sim.now
+        self._monitor.record_operation(
+            self.series, now, now - value.created_at, value.size_bytes
         )
         self._propose()

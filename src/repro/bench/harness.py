@@ -19,6 +19,7 @@ from repro.bench.figure5 import run_figure5
 from repro.bench.figure6 import run_figure6
 from repro.bench.figure7 import run_figure7
 from repro.bench.figure8 import run_figure8
+from repro.bench.perf import run_perf
 from repro.bench.reconfig import run_reconfig
 
 __all__ = ["run_experiment", "EXPERIMENTS", "SCALES"]
@@ -183,6 +184,17 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 paper={"duration": 30.0, "settle": 5.0},
             ),
         )
+    if name == "perf":
+        return run_perf(
+            **_params(
+                scale,
+                # ``duration`` is the lan simulated window; wan3 runs a fixed
+                # multiple of it (see repro.bench.perf._DURATION_SCALE).
+                smoke={"duration": 1.0},
+                quick={"duration": 2.0},
+                paper={"duration": 5.0},
+            )
+        )
     if name == "ablations":
         duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
         leveling = run_rate_leveling_ablation(duration=duration)
@@ -207,4 +219,5 @@ EXPERIMENTS = (
     "reconfig",
     "batching",
     "chaos",
+    "perf",
 )

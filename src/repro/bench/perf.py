@@ -1,0 +1,251 @@
+"""Simulator wall-clock performance benchmark (the ``perf`` experiment).
+
+Unlike every other experiment in :mod:`repro.bench`, this one does not
+measure the *modelled* system -- it measures the simulator itself: how many
+simulation events and application deliveries the engine pushes through per
+second of **wall-clock** time on two fixed scenarios (a LAN ring pair and the
+``wan3`` three-continent preset).  The nightly chaos campaigns and the
+paper-scale figure benches are bound by exactly this number, so regressions
+here translate directly into slower CI and less routine paper-scale data.
+
+Two metric families come out of a run:
+
+* **simulated-time metrics** (events and deliveries per simulated second,
+  total event/delivery counts) -- fully deterministic, gated hard by
+  :mod:`repro.bench.regression` against ``benchmarks/baselines/perf.json``.
+  A drift here means the *model* changed (different message counts), which
+  is never an accident worth ignoring;
+* **wall-clock metrics** (events/sec and delivered-commands/sec of wall
+  time) -- the actual speed, subject to runner jitter, reported warn-only by
+  the gate and recorded in ``BENCH_perf.json`` for trend tracking.
+
+``run_perf`` writes ``BENCH_perf.json`` next to the working directory by
+default so both CI lanes can upload it as an artifact.  Profile a scenario
+with ``python -m repro.bench perf --smoke --cprofile`` (top-25 cumulative
+hotspots; see CONTRIBUTING.md).
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.drivers import ClosedLoopProposerDriver
+from repro.bench.report import format_table
+from repro.config import MultiRingConfig
+from repro.multiring.deployment import Deployment, RingSpec
+from repro.scenarios.topologies import get_preset
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+from repro.types import Value
+
+__all__ = [
+    "run_perf",
+    "build_perf_world",
+    "golden_delivery_sequence",
+    "PERF_SCENARIOS",
+]
+
+#: Scenario names the perf bench sweeps, in report order.
+PERF_SCENARIOS = ("lan", "wan3")
+
+#: Simulated-duration multiplier per scenario.  The WAN scenario is
+#: latency-bound (few events per simulated second), so it runs much longer
+#: to produce a comparable amount of measurable work -- sub-second wall
+#: windows make the events/sec reading jitter by double-digit percentages.
+_DURATION_SCALE = {"lan": 1.0, "wan3": 50.0}
+
+_RINGS = ("ring-a", "ring-b")
+_VALUE_SIZE = 512
+
+
+def build_perf_world(
+    scenario: str,
+    seed: int = 7,
+    threads: int = 8,
+    value_size: int = _VALUE_SIZE,
+) -> Tuple[World, Deployment, List[ClosedLoopProposerDriver]]:
+    """Build one of the fixed perf scenarios (not yet started).
+
+    ``lan`` is three nodes on one 10 Gbps site sharing two in-memory rings;
+    ``wan3`` spreads the same ring pair over the three-continent preset used
+    by the chaos campaigns.  Both are deliberately frozen: the perf baseline
+    is only comparable while the scenario stays byte-identical.
+    """
+    if scenario == "lan":
+        world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+        config = MultiRingConfig.datacenter()
+        sites: Dict[str, str] = {}
+    elif scenario == "wan3":
+        preset = get_preset("wan3")
+        world = World(topology=preset.build(), seed=seed, timeline_window=0.5)
+        config = MultiRingConfig.wide_area()
+        sites = {f"node-{i}": site for i, site in enumerate(preset.sites)}
+    else:
+        raise ValueError(f"unknown perf scenario {scenario!r}; expected one of {PERF_SCENARIOS}")
+
+    deployment = Deployment(world, config)
+    members = [f"node-{i}" for i in range(3)]
+    for name in members:
+        deployment.add_node(name, site=sites.get(name))
+    for group in _RINGS:
+        deployment.add_ring(RingSpec(group=group, members=list(members)))
+    drivers = [
+        ClosedLoopProposerDriver(
+            deployment.node(name),
+            group,
+            value_size=value_size,
+            threads=threads,
+            series=f"perf-{group}",
+        )
+        for group in _RINGS
+        for name in members
+    ]
+    return world, deployment, drivers
+
+
+def _run_scenario(scenario: str, duration: float, threads: int) -> Dict:
+    world, deployment, drivers = build_perf_world(scenario, threads=threads)
+    world.start()
+    for driver in drivers:
+        driver.start()
+    # The hot path allocates no cyclic garbage (refcounting reclaims
+    # everything), so generational GC passes are pure measurement jitter
+    # here; suspend the collector for the timed window.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    wall_start = time.perf_counter()
+    try:
+        world.run(until=duration)
+    finally:
+        wall_seconds = time.perf_counter() - wall_start
+        if gc_was_enabled:
+            gc.enable()
+
+    events = world.sim.processed_events
+    deliveries = sum(node.deliveries_count for node in deployment.nodes.values())
+    completed = sum(driver.completed for driver in drivers)
+    return {
+        "scenario": scenario,
+        "sim_duration_s": duration,
+        # Deterministic (simulated-time) metrics: gated hard.
+        "events": events,
+        "deliveries": deliveries,
+        "completed_commands": completed,
+        "sim_events_per_sim_sec": events / duration,
+        "deliveries_per_sim_sec": deliveries / duration,
+        # Wall-clock metrics: the actual simulator speed, warn-only.
+        "wall_seconds": wall_seconds,
+        "events_per_wall_sec": events / wall_seconds if wall_seconds > 0 else 0.0,
+        "deliveries_per_wall_sec": deliveries / wall_seconds if wall_seconds > 0 else 0.0,
+    }
+
+
+def run_perf(
+    duration: float = 2.0,
+    scenarios: Sequence[str] = PERF_SCENARIOS,
+    threads: int = 8,
+    output: Optional[Path] = Path("BENCH_perf.json"),
+    seed: int = 7,
+) -> Dict:
+    """Measure wall-clock simulator throughput on the fixed scenarios.
+
+    Writes the raw results to ``output`` (``BENCH_perf.json`` by default;
+    pass ``None`` to skip) so CI can upload them as an artifact.
+    """
+    del seed  # the scenarios pin their own seed; kept for signature stability
+    results: Dict[str, Dict] = {}
+    for scenario in scenarios:
+        scaled = duration * _DURATION_SCALE.get(scenario, 1.0)
+        results[scenario] = _run_scenario(scenario, duration=scaled, threads=threads)
+
+    rows = []
+    for scenario in scenarios:
+        cell = results[scenario]
+        rows.append(
+            [
+                scenario,
+                cell["events"],
+                f"{cell['events_per_wall_sec']:,.0f}",
+                f"{cell['deliveries_per_wall_sec']:,.0f}",
+                f"{cell['wall_seconds']:.2f}",
+            ]
+        )
+    report = format_table(
+        "Simulator perf: wall-clock events/sec (hot-path health)",
+        ["scenario", "events", "events/s (wall)", "deliveries/s (wall)", "wall s"],
+        rows,
+    )
+    result = {
+        "experiment": "perf",
+        "duration": duration,
+        "threads": threads,
+        "scenarios": list(scenarios),
+        "results": results,
+        "report": report,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return result
+
+
+# ----------------------------------------------------------------------
+# golden-sequence capture (determinism contract)
+# ----------------------------------------------------------------------
+def golden_delivery_sequence(
+    scenario: str = "wan3",
+    duration: float = 2.0,
+    threads: int = 4,
+    observer: str = "node-0",
+) -> Dict:
+    """Run ``scenario`` and capture the exact delivery sequence at one learner.
+
+    Returns a digest of every application delivery observed by ``observer``
+    -- ``(group, instance, value uid, delivery timestamp)`` with the
+    timestamp in ``float.hex`` form -- plus the total processed-event count.
+    The golden test freezes this output: any engine or network optimization
+    that changes a single simulated timestamp or reorders one delivery flips
+    the digest.
+
+    Value uids come from a process-global counter, so they are recorded
+    *relative* to a sentinel allocated here: the digest stays stable no
+    matter how many values earlier tests in the same process created.
+    """
+    uid_base = Value.create(None, 0).uid
+    world, deployment, drivers = build_perf_world(scenario, threads=threads)
+    node = deployment.node(observer)
+    entries: List[List] = []
+
+    def record(delivery) -> None:
+        entries.append(
+            [
+                delivery.group,
+                delivery.instance,
+                delivery.value.uid - uid_base,
+                world.sim.now.hex(),
+            ]
+        )
+
+    node.on_deliver(record)
+    world.start()
+    for driver in drivers:
+        driver.start()
+    world.run(until=duration)
+
+    blob = json.dumps(entries, separators=(",", ":")).encode("utf-8")
+    return {
+        "scenario": scenario,
+        "duration": duration,
+        "threads": threads,
+        "observer": observer,
+        "deliveries": len(entries),
+        "events_processed": world.sim.processed_events,
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "head": entries[:20],
+        "tail": entries[-5:],
+    }

@@ -1,9 +1,16 @@
 """Benchmark-regression gate for CI.
 
-``python -m repro.bench.regression`` runs the smoke-scale benchmark suite,
-writes the collected metrics to a JSON file (``BENCH_smoke.json`` in CI,
-uploaded as a workflow artifact), and compares them against the committed
-baseline in ``benchmarks/baselines/smoke.json``:
+``python -m repro.bench.regression`` runs one of the gate suites at smoke
+scale, writes the collected metrics to a JSON file (uploaded as a workflow
+artifact in CI), and compares them against the committed baseline:
+
+* ``--suite smoke`` (default): figure/batching throughput and latency
+  metrics vs ``benchmarks/baselines/smoke.json``;
+* ``--suite perf``: simulator hot-path metrics vs
+  ``benchmarks/baselines/perf.json`` -- deterministic simulated-time rates
+  gate hard, wall-clock events/sec is reported warn-only (runner jitter).
+
+For the default smoke suite:
 
 * a metric that regresses by more than the tolerance (default +-20 %) fails
   the gate (non-zero exit code);
@@ -30,10 +37,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import run_experiment
 
-__all__ = ["collect_smoke_metrics", "compare_metrics", "main"]
+__all__ = ["collect_smoke_metrics", "collect_perf_metrics", "compare_metrics", "main"]
 
-#: Default location of the committed baseline, relative to the repo root.
-DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "smoke.json"
+#: Committed baselines live here; per-suite defaults are in :data:`SUITES`.
+_BASELINE_DIR = Path("benchmarks") / "baselines"
 
 
 def _is_higher_better(metric: str) -> Optional[bool]:
@@ -71,6 +78,36 @@ def collect_smoke_metrics(scale: str = "smoke") -> Dict:
     metrics["figure6/latency_disk1_ms"] = figure6["results"][top_rings]["latency_disk1_ms"]
 
     return {"scale": scale, "metrics": metrics}
+
+
+def collect_perf_metrics(scale: str = "smoke") -> Dict:
+    """Run the simulator perf bench and distill its gate metrics.
+
+    Simulated-time rates (events and deliveries per simulated second) are
+    deterministic, carry a known direction (``_ops``), and gate hard: any
+    drift means the model itself changed.  Wall-clock rates are subject to
+    runner jitter, so they are emitted WITHOUT a direction suffix -- the
+    gate reports them as warn-only notes instead of pass/fail verdicts --
+    while still landing in the JSON artifact for trend tracking.
+    """
+    perf = run_experiment("perf", scale=scale)
+    metrics: Dict[str, float] = {}
+    for scenario in perf["scenarios"]:
+        cell = perf["results"][scenario]
+        metrics[f"perf/{scenario}_sim_events_ops"] = cell["sim_events_per_sim_sec"]
+        metrics[f"perf/{scenario}_sim_deliveries_ops"] = cell["deliveries_per_sim_sec"]
+        # Warn-only by construction: no _ops/_ms suffix, so the gate skips
+        # them with a note instead of failing on runner jitter.
+        metrics[f"perf/{scenario}_wall_events_per_sec"] = cell["events_per_wall_sec"]
+        metrics[f"perf/{scenario}_wall_deliveries_per_sec"] = cell["deliveries_per_wall_sec"]
+    return {"scale": scale, "metrics": metrics}
+
+
+#: Gate suites: (collector, default baseline path, default output path).
+SUITES = {
+    "smoke": (collect_smoke_metrics, _BASELINE_DIR / "smoke.json", Path("BENCH_smoke.json")),
+    "perf": (collect_perf_metrics, _BASELINE_DIR / "perf.json", Path("BENCH_perf_metrics.json")),
+}
 
 
 def compare_metrics(
@@ -125,12 +162,19 @@ def main(argv=None) -> int:
         description="Run the smoke benchmarks and gate on the committed baseline.",
     )
     parser.add_argument(
-        "--output", type=Path, default=Path("BENCH_smoke.json"),
-        help="where to write the collected metrics (JSON)",
+        "--suite", choices=sorted(SUITES), default="smoke",
+        help=(
+            "which gate suite to run: 'smoke' (figure/batching throughput) "
+            "or 'perf' (simulator hot-path metrics)"
+        ),
     )
     parser.add_argument(
-        "--baseline", type=Path, default=DEFAULT_BASELINE,
-        help="committed baseline to compare against",
+        "--output", type=Path, default=None,
+        help="where to write the collected metrics (JSON; default depends on --suite)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="committed baseline to compare against (default depends on --suite)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.20,
@@ -154,8 +198,13 @@ def main(argv=None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    collector, default_baseline, default_output = SUITES[args.suite]
+    if args.baseline is None:
+        args.baseline = default_baseline
+    if args.output is None:
+        args.output = default_output
 
-    current = collect_smoke_metrics(scale=args.scale)
+    current = collector(scale=args.scale)
     args.output.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     for name, value in sorted(current["metrics"].items()):

@@ -37,14 +37,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import MulticastError
-from repro.types import GroupId, InstanceId, Value, unpack_value
+from repro.types import GroupId, InstanceId, Value, ValueBatch
 
 __all__ = ["Delivery", "DeterministicMerge"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Delivery:
-    """One application-visible delivery."""
+    """One application-visible delivery.
+
+    Slotted and non-frozen (one is allocated per delivered value, where the
+    frozen ``object.__setattr__`` init cost is measurable); treat instances
+    as immutable.
+    """
 
     group: GroupId
     instance: InstanceId
@@ -53,6 +58,27 @@ class Delivery:
 
 class DeterministicMerge:
     """Round-robin merge of decided instances from multiple rings."""
+
+    __slots__ = (
+        "_groups",
+        "m",
+        "_deliver",
+        "_buffers",
+        "_next_instance",
+        "_join_round",
+        "_round",
+        "_round_index",
+        "_delivered_in_round",
+        "_active_cache",
+        "subscription_version",
+        "delivered_count",
+        "skipped_count",
+        "batched_instances",
+        "deliveries",
+        "keep_history",
+        "paused",
+        "_advancing",
+    )
 
     def __init__(
         self,
@@ -111,6 +137,10 @@ class DeterministicMerge:
     def groups(self) -> List[GroupId]:
         """Every known group, including pending (not yet spliced) ones."""
         return list(self._groups)
+
+    def has_group(self, group: GroupId) -> bool:
+        """O(1) subscription check (``groups`` builds a list; this does not)."""
+        return group in self._buffers
 
     @property
     def active_groups(self) -> List[GroupId]:
@@ -187,12 +217,23 @@ class DeterministicMerge:
     # ------------------------------------------------------------------
     def on_decision(self, group: GroupId, instance: InstanceId, value: Value) -> None:
         """Feed one decided instance from ``group``; drains whatever became deliverable."""
-        if group not in self._buffers:
+        buffer = self._buffers.get(group)
+        if buffer is None:
             raise MulticastError(f"not subscribed to group {group!r}")
-        if instance < self._next_instance[group]:
+        next_instance = self._next_instance[group]
+        if instance < next_instance:
             return  # duplicate (e.g. redelivered during recovery)
-        self._buffers[group][instance] = value
-        self.advance()
+        buffer[instance] = value
+        # Only a decision at the group's cursor can unblock delivery right
+        # now; instances buffered ahead of the cursor are consumed inside a
+        # later advance loop when the cursor reaches them.  (advance()
+        # inlined: this is the single hottest merge entry point.)
+        if instance == next_instance and not self.paused and not self._advancing:
+            self._advancing = True
+            try:
+                self._advance_loop()
+            finally:
+                self._advancing = False
 
     # ------------------------------------------------------------------
     # output
@@ -230,8 +271,19 @@ class DeterministicMerge:
 
     def _advance_loop(self) -> int:
         advanced = 0
+        # Hot-path bindings: this loop runs once per decided instance on
+        # every learner.  The outer dicts are only ever mutated in place, so
+        # the references stay valid across delivery callbacks.
+        buffers = self._buffers
+        next_instance = self._next_instance
+        deliver = self._deliver
+        keep_history = self.keep_history
+        history = self.deliveries
+        m = self.m
         while True:
-            active = self._active()
+            active = self._active_cache
+            if active is None:
+                active = self._active()
             if not active:
                 break
             if self._round_index >= len(active):
@@ -242,12 +294,12 @@ class DeterministicMerge:
                 self._invalidate_active()
                 continue
             group = active[self._round_index]
-            buffer = self._buffers[group]
-            instance = self._next_instance[group]
+            buffer = buffers[group]
+            instance = next_instance[group]
             if instance not in buffer:
                 break  # the current ring is behind: wait (this is what rate leveling unblocks)
             value = buffer.pop(instance)
-            self._next_instance[group] = instance + 1
+            next_instance[group] = instance + 1
             advanced += 1
             if value.is_skip:
                 self.skipped_count += 1
@@ -257,18 +309,25 @@ class DeterministicMerge:
                 # one slot of the M-instances-per-ring round-robin quota:
                 # the round structure is defined over consensus instances,
                 # not over the values they carry.
-                inner_values = unpack_value(value)
-                if len(inner_values) > 1:
-                    self.batched_instances += 1
+                payload = value.payload
+                if isinstance(payload, ValueBatch):
+                    inner_values = payload.values
+                    if len(inner_values) > 1:
+                        self.batched_instances += 1
+                else:
+                    inner_values = (value,)
                 for inner in inner_values:
                     self.delivered_count += 1
-                    delivery = Delivery(group, instance, inner)
-                    if self.keep_history:
-                        self.deliveries.append(delivery)
-                    if self._deliver is not None:
-                        self._deliver(delivery)
+                    # Statistics-only runs (no history, no callback) skip
+                    # the Delivery allocation entirely.
+                    if keep_history or deliver is not None:
+                        delivery = Delivery(group, instance, inner)
+                        if keep_history:
+                            history.append(delivery)
+                        if deliver is not None:
+                            deliver(delivery)
             self._delivered_in_round += 1
-            if self._delivered_in_round >= self.m:
+            if self._delivered_in_round >= m:
                 self._delivered_in_round = 0
                 self._round_index += 1
                 if self._round_index >= len(active):

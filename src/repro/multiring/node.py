@@ -53,6 +53,9 @@ class MultiRingNode(RingHost):
         self.merge = DeterministicMerge(groups=[], m=self.config.m, deliver=self._on_merged_delivery)
         self.merge.keep_history = False
         self._delivery_callbacks: List[DeliveryCallback] = []
+        #: Callbacks registered for a single group only (``on_deliver`` with
+        #: ``group=``); spares every other ring's deliveries the call.
+        self._group_delivery_callbacks: Dict[GroupId, List[DeliveryCallback]] = {}
         self._control_callbacks: List[DeliveryCallback] = []
         self._levelers: Dict[GroupId, RateLeveler] = {}
         self._subscribed: List[GroupId] = []
@@ -61,7 +64,6 @@ class MultiRingNode(RingHost):
         #: Survives crashes (in a real system it lives in the registry) so the
         #: merge can be rebuilt with the same round structure.
         self._join_rounds: Dict[GroupId, Optional[int]] = {}
-        self.add_decision_sink(self._on_ring_decision)
         self.register_handler(ProposeControl, self._on_propose_control)
         self.deliveries_count = 0
         self.control_deliveries_count = 0
@@ -162,9 +164,17 @@ class MultiRingNode(RingHost):
             )
         return self.propose(group, payload, size_bytes)
 
-    def on_deliver(self, callback: DeliveryCallback) -> None:
-        """Register the application-level delivery callback (``deliver(m)``)."""
-        self._delivery_callbacks.append(callback)
+    def on_deliver(self, callback: DeliveryCallback, group: Optional[GroupId] = None) -> None:
+        """Register the application-level delivery callback (``deliver(m)``).
+
+        With ``group`` the callback only fires for that group's deliveries
+        (cheaper than filtering inside the callback when a node subscribes
+        to many rings).
+        """
+        if group is None:
+            self._delivery_callbacks.append(callback)
+        else:
+            self._group_delivery_callbacks.setdefault(group, []).append(callback)
 
     def on_control(self, callback: DeliveryCallback) -> None:
         """Register a callback for delivered reconfiguration control commands."""
@@ -173,9 +183,18 @@ class MultiRingNode(RingHost):
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _on_ring_decision(self, group: GroupId, instance: InstanceId, value: Value) -> None:
-        if group in self.merge.groups:
-            self.merge.on_decision(group, instance, value)
+    def notify_decision(self, group: GroupId, instance: InstanceId, value: Value) -> None:
+        # Overrides the RingHost hook: decision -> merge routing runs once
+        # per decided instance on every learner, so it is inlined here ahead
+        # of the generic sink fan-out (which is usually empty on multi-ring
+        # nodes -- the merge was previously just the first sink).
+        merge = self.merge
+        if merge.has_group(group):
+            merge.on_decision(group, instance, value)
+        sinks = self._decision_sinks
+        if sinks:
+            for sink in sinks:
+                sink(group, instance, value)
 
     def _on_merged_delivery(self, delivery: Delivery) -> None:
         if isinstance(delivery.value.payload, ControlCommand):
@@ -184,6 +203,10 @@ class MultiRingNode(RingHost):
         self.deliveries_count += 1
         for callback in self._delivery_callbacks:
             callback(delivery)
+        group_callbacks = self._group_delivery_callbacks.get(delivery.group)
+        if group_callbacks is not None:
+            for callback in group_callbacks:
+                callback(delivery)
 
     def _on_control_delivery(self, delivery: Delivery) -> None:
         """Handle a reconfiguration control command at its agreed position."""

@@ -9,15 +9,31 @@ wire size of arbitrary Python payloads for application-level messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
 from typing import Any
 
 from repro.types import Value
 
-__all__ = ["ProtocolMessage", "estimate_size", "HEADER_BYTES"]
+__all__ = ["ProtocolMessage", "estimate_size", "utf8_len", "HEADER_BYTES"]
 
 #: Fixed per-message header: message type, ring id, instance id, ballot, CRC.
 HEADER_BYTES = 48
+
+#: Memoized UTF-8 byte lengths.  Message sizing encodes the same short,
+#: endlessly repeated strings (process names, group ids) on every ring hop;
+#: the cache turns that into a dict hit.  Capped so pathological workloads
+#: with unbounded distinct strings cannot leak.
+_UTF8_LEN_CACHE: dict = {}
+_UTF8_LEN_CACHE_MAX = 65536
+
+
+def utf8_len(text: str) -> int:
+    """The UTF-8 encoded length of ``text``, memoized for repeated names."""
+    size = _UTF8_LEN_CACHE.get(text)
+    if size is None:
+        size = len(text.encode("utf-8"))
+        if len(_UTF8_LEN_CACHE) < _UTF8_LEN_CACHE_MAX:
+            _UTF8_LEN_CACHE[text] = size
+    return size
 
 
 def estimate_size(payload: Any) -> int:
@@ -33,7 +49,7 @@ def estimate_size(payload: Any) -> int:
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):
-        return len(payload.encode("utf-8"))
+        return utf8_len(payload)
     if isinstance(payload, bool):
         return 1
     if isinstance(payload, int):
@@ -50,20 +66,31 @@ def estimate_size(payload: Any) -> int:
     return 64  # opaque object
 
 
-@dataclass(frozen=True)
 class ProtocolMessage:
     """Base class for protocol messages.
 
-    Subclasses are frozen dataclasses; ``size_bytes`` walks their fields and
-    adds the sizes of any embedded values so that, for example, a Phase 2A/2B
+    Subclasses are dataclasses; ``size_bytes`` walks their fields and adds
+    the sizes of any embedded values so that, for example, a Phase 2A/2B
     message carrying a 32 KB value occupies the ring links accordingly.
+
+    Deliberately a plain class, not a dataclass: subclasses are free to be
+    frozen or (for the ring hot-path messages, where the frozen
+    ``object.__setattr__`` init cost is measurable per hop) mutable-but-
+    treated-immutable, which dataclass inheritance rules would otherwise
+    forbid mixing.  The empty ``__slots__`` keeps ``slots=True`` subclasses
+    genuinely dict-free.
     """
+
+    __slots__ = ()
 
     @property
     def size_bytes(self) -> int:
+        # ``__dataclass_fields__`` is iterated directly instead of calling
+        # :func:`dataclasses.fields`: this property runs once per ring hop
+        # for every message and the tuple rebuild is measurable there.
         total = HEADER_BYTES
-        for spec in fields(self):
-            total += estimate_size(getattr(self, spec.name))
+        for name in self.__dataclass_fields__:
+            total += estimate_size(getattr(self, name))
         return total
 
     @property

@@ -11,7 +11,7 @@ order.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -19,13 +19,26 @@ __all__ = ["RingOverlay"]
 
 
 class RingOverlay:
-    """An ordered ring of process names with successor/predecessor lookup."""
+    """An ordered ring of process names with successor/predecessor lookup.
+
+    The overlay is immutable (mutators return new overlays), so positions and
+    successors are precomputed once: message forwarding asks for the next
+    hop on every ring transit, and a list scan per hop would dominate the
+    fan-out path.
+    """
+
+    __slots__ = ("_members", "_positions", "_successors")
 
     def __init__(self, members: Sequence[str]) -> None:
         ordered = list(dict.fromkeys(members))
         if len(ordered) < 1:
             raise ConfigurationError("a ring needs at least one member")
         self._members: List[str] = ordered
+        self._positions: Dict[str, int] = {name: i for i, name in enumerate(ordered)}
+        size = len(ordered)
+        self._successors: Dict[str, str] = {
+            name: ordered[(i + 1) % size] for i, name in enumerate(ordered)
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -37,21 +50,23 @@ class RingOverlay:
         return len(self._members)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._members
+        return name in self._positions
 
     def __len__(self) -> int:
         return len(self._members)
 
     def position(self, name: str) -> int:
         try:
-            return self._members.index(name)
-        except ValueError:
+            return self._positions[name]
+        except KeyError:
             raise ConfigurationError(f"{name!r} is not a member of the ring") from None
 
     def successor(self, name: str) -> str:
         """The next process clockwise from ``name``."""
-        index = self.position(name)
-        return self._members[(index + 1) % len(self._members)]
+        try:
+            return self._successors[name]
+        except KeyError:
+            raise ConfigurationError(f"{name!r} is not a member of the ring") from None
 
     def predecessor(self, name: str) -> str:
         """The previous process clockwise from ``name``."""

@@ -27,6 +27,8 @@ from repro.errors import StorageError
 from repro.paxos.types import Ballot, InstanceRecord
 from repro.sim.disk import Disk, StorageMode, disk_for_mode
 from repro.sim.engine import Simulator
+from heapq import heappush
+
 from repro.types import InstanceId, Value
 
 __all__ = ["AcceptorStorage"]
@@ -37,6 +39,17 @@ _RECORD_OVERHEAD_BYTES = 64
 
 class AcceptorStorage:
     """Per-ring stable storage of one acceptor."""
+
+    __slots__ = (
+        "sim",
+        "mode",
+        "disk",
+        "_records",
+        "_trimmed_up_to",
+        "_highest_instance",
+        "bytes_logged",
+        "writes",
+    )
 
     def __init__(
         self,
@@ -72,9 +85,11 @@ class AcceptorStorage:
         """The (mutable) record for ``instance``, creating it if absent."""
         if self._trimmed_up_to is not None and instance <= self._trimmed_up_to:
             raise StorageError(f"instance {instance} has been trimmed")
-        if instance not in self._records:
-            self._records[instance] = InstanceRecord(instance)
-        return self._records[instance]
+        record = self._records.get(instance)
+        if record is None:
+            record = InstanceRecord(instance)
+            self._records[instance] = record
+        return record
 
     def has_instance(self, instance: InstanceId) -> bool:
         return instance in self._records
@@ -91,18 +106,25 @@ class AcceptorStorage:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def _persist(self, nbytes: int, callback: Optional[Callable[[], None]]) -> float:
+    def _persist(
+        self,
+        nbytes: int,
+        callback: Optional[Callable[..., None]],
+        callback_args: tuple = (),
+    ) -> float:
         """Persist ``nbytes`` according to the storage mode; return the ack time."""
         self.writes += 1
         self.bytes_logged += nbytes
         if self.mode is StorageMode.MEMORY or self.disk is None:
-            done = self.sim.now
+            sim = self.sim
+            done = sim._now
             if callback is not None:
-                self.sim.schedule_at(done, callback)
+                # Inlined Simulator.call_at: ``done`` is exactly now.
+                heappush(sim._queue, (done, next(sim._seq), callback, callback_args))
             return done
         if self.mode.synchronous:
-            return self.disk.write(nbytes, callback)
-        return self.disk.write_async(nbytes, callback)
+            return self.disk.write(nbytes, callback, callback_args)
+        return self.disk.write_async(nbytes, callback, callback_args)
 
     def log_promise(
         self,
@@ -136,7 +158,8 @@ class AcceptorStorage:
         count: int,
         ballot: Ballot,
         value: Value,
-        callback: Optional[Callable[[], None]] = None,
+        callback: Optional[Callable[..., None]] = None,
+        callback_args: tuple = (),
     ) -> float:
         """Record votes for ``count`` consecutive instances with one persisted write.
 
@@ -146,22 +169,49 @@ class AcceptorStorage:
         """
         if count < 1:
             raise StorageError("a vote range must cover at least one instance")
-        last_ack = self.sim.now
-        for offset in range(count):
-            instance = first + offset
-            record = self.record(instance)
-            record.accept(ballot, value)
-            if self._highest_instance is None or instance > self._highest_instance:
-                self._highest_instance = instance
+        if count == 1:
+            # Fast path: everything except skip ranges logs one instance.
+            self.record(first).accept(ballot, value)
+            if self._highest_instance is None or first > self._highest_instance:
+                self._highest_instance = first
+        else:
+            for offset in range(count):
+                instance = first + offset
+                self.record(instance).accept(ballot, value)
+                if self._highest_instance is None or instance > self._highest_instance:
+                    self._highest_instance = instance
         nbytes = _RECORD_OVERHEAD_BYTES + value.size_bytes
-        return self._persist(nbytes, callback) if count > 0 else last_ack
+        return self._persist(nbytes, callback, callback_args)
 
     def mark_decided(self, instance: InstanceId) -> None:
         """Mark an instance as decided (used when the decision passes by)."""
-        if self.is_trimmed(instance):
+        if self._trimmed_up_to is not None and instance <= self._trimmed_up_to:
             return
-        if instance in self._records:
-            self._records[instance].mark_decided()
+        record = self._records.get(instance)
+        if record is not None:
+            record.decided = True
+
+    def note_decided(self, instance: InstanceId, ballot: Ballot, value: Value) -> None:
+        """Log ``value`` (if no vote exists yet) and mark ``instance`` decided.
+
+        Fuses the ``is_trimmed`` / ``accepted_value`` / ``log_votes_range`` /
+        ``mark_decided`` sequence acceptors run for every decision that
+        passes by without having voted on it -- once per instance per
+        acceptor, the hottest storage path after vote logging.  Bookkeeping
+        (write counters, disk reservation) matches that sequence exactly.
+        """
+        if self._trimmed_up_to is not None and instance <= self._trimmed_up_to:
+            return
+        record = self._records.get(instance)
+        if record is None or record.accepted_value is None:
+            if record is None:
+                record = InstanceRecord(instance)
+                self._records[instance] = record
+            record.accept(ballot, value)
+            if self._highest_instance is None or instance > self._highest_instance:
+                self._highest_instance = instance
+            self._persist(_RECORD_OVERHEAD_BYTES + value.size_bytes, None)
+        record.decided = True
 
     # ------------------------------------------------------------------
     # retransmission and trimming

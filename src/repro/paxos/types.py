@@ -12,7 +12,7 @@ __all__ = ["Ballot", "InstanceRecord"]
 
 
 @total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ballot:
     """A Paxos ballot (round) number.
 
@@ -25,7 +25,17 @@ class Ballot:
     coordinator: str = ""
 
     def __lt__(self, other: "Ballot") -> bool:
-        return (self.number, self.coordinator) < (other.number, other.coordinator)
+        if self.number != other.number:
+            return self.number < other.number
+        return self.coordinator < other.coordinator
+
+    def __ge__(self, other: "Ballot") -> bool:
+        # Explicit (total_ordering would derive it through __lt__ plus an
+        # equality check): ballot comparison sits on the acceptor vote path,
+        # once per logged instance.
+        if self.number != other.number:
+            return self.number > other.number
+        return self.coordinator >= other.coordinator
 
     def next(self, coordinator: Optional[str] = None) -> "Ballot":
         """The next higher ballot, owned by ``coordinator`` (default: same owner)."""
@@ -37,7 +47,12 @@ class Ballot:
         return cls(0, "")
 
 
-@dataclass
+#: Shared initial ballot: frozen, so every fresh record can reference the
+#: same instance instead of allocating one per consensus instance.
+_ZERO_BALLOT = Ballot(0, "")
+
+
+@dataclass(slots=True)
 class InstanceRecord:
     """What an acceptor remembers about one consensus instance.
 
@@ -48,7 +63,7 @@ class InstanceRecord:
     """
 
     instance: InstanceId
-    promised: Ballot = field(default_factory=Ballot.zero)
+    promised: Ballot = field(default=_ZERO_BALLOT)
     accepted_ballot: Optional[Ballot] = None
     accepted_value: Optional[Value] = None
     decided: bool = False

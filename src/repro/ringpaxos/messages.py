@@ -10,6 +10,12 @@ the message travels around the ring.  ``count > 1`` is used for skip ranges --
 the coordinator may skip several consensus instances with a single message
 (Section 4, rate leveling).
 
+The hot-path messages (``Proposal``, ``Phase2``, ``Decision``) are slotted,
+non-frozen dataclasses: they are constructed on every ring hop, where the
+``object.__setattr__`` cost of frozen init is measurable.  Treat them as
+immutable -- a message is never mutated after construction; acceptors build a
+*new* ``Phase2`` to extend the vote set.
+
 With coordinator-side batching enabled the ``value`` of a ``Phase2`` /
 ``Decision`` may be a batch envelope (its payload is a
 :class:`~repro.types.ValueBatch`) carrying several application values in one
@@ -19,12 +25,22 @@ value -- and learners unpack it at delivery time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
-from repro.net.message import ProtocolMessage
+from repro.net.message import HEADER_BYTES, ProtocolMessage, utf8_len
 from repro.paxos.types import Ballot
 from repro.types import GroupId, InstanceId, Value
+
+#: Wire-size building blocks matching :func:`repro.net.message.estimate_size`:
+#: integers count 8 bytes, a ballot is an opaque 64-byte object, a set adds an
+#: 8-byte length prefix.  The specialized ``size_bytes`` properties below MUST
+#: stay byte-for-byte equal to the generic field walk -- they exist because
+#: sizing runs once per ring hop for every message, and the generic
+#: ``dataclasses`` walk is measurable there.
+_INT_BYTES = 8
+_BALLOT_BYTES = 64
+_CONTAINER_BYTES = 8
 
 __all__ = [
     "Proposal",
@@ -35,15 +51,19 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Proposal(ProtocolMessage):
     """A value travelling clockwise from its proposer to the coordinator."""
 
     group: GroupId
     value: Value
 
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + utf8_len(self.group) + self.value.size_bytes
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class Phase2(ProtocolMessage):
     """Combined Phase 2A/2B message circulating in the ring.
 
@@ -61,8 +81,24 @@ class Phase2(ProtocolMessage):
     votes: FrozenSet[str]
     origin: str
 
+    @property
+    def size_bytes(self) -> int:
+        total = (
+            HEADER_BYTES
+            + utf8_len(self.group)
+            + _INT_BYTES  # instance
+            + _INT_BYTES  # count
+            + _BALLOT_BYTES
+            + self.value.size_bytes
+            + _CONTAINER_BYTES
+            + utf8_len(self.origin)
+        )
+        for vote in self.votes:
+            total += utf8_len(vote)
+        return total
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class Decision(ProtocolMessage):
     """A decided value circulating until every ring member has seen it.
 
@@ -77,8 +113,19 @@ class Decision(ProtocolMessage):
     value: Value
     origin: str
 
+    @property
+    def size_bytes(self) -> int:
+        return (
+            HEADER_BYTES
+            + utf8_len(self.group)
+            + _INT_BYTES  # instance
+            + _INT_BYTES  # count
+            + self.value.size_bytes
+            + utf8_len(self.origin)
+        )
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class RetransmitRequest(ProtocolMessage):
     """A recovering replica asks an acceptor for decided values it missed.
 
@@ -95,7 +142,7 @@ class RetransmitRequest(ProtocolMessage):
     token: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetransmitReply(ProtocolMessage):
     """Acceptor response to a :class:`RetransmitRequest`.
 

@@ -10,11 +10,12 @@ for subclasses (replicas, clients, the Multi-Ring learner) to handle.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, List, Optional
 
 from repro.config import RingConfig
 from repro.coordination.registry import Registry
-from repro.errors import MulticastError
+from repro.errors import MulticastError, ProcessCrashedError
 from repro.net.ring import RingOverlay
 from repro.ringpaxos.messages import (
     Decision,
@@ -54,6 +55,9 @@ class RingHost(Process):
         super().__init__(world, name, site)
         self.registry = registry
         self.cpu = CPU(world.sim, cpu_config)
+        # Hot-path bindings: both are per-world singletons.
+        self._sim = world.sim
+        self._network = world.network
         self.roles: Dict[GroupId, RingRole] = {}
         self._decision_sinks: List[DecisionSink] = []
         self._handlers: Dict[type, List[Callable[[str, object], None]]] = {}
@@ -96,7 +100,9 @@ class RingHost(Process):
     # ------------------------------------------------------------------
     def propose(self, group: GroupId, payload, size_bytes: int) -> Value:
         """Create a value from ``payload`` and atomically broadcast it on ``group``."""
-        value = Value.create(payload, size_bytes, proposer=self.name, created_at=self.now)
+        value = Value.create(
+            payload, size_bytes, proposer=self.name, created_at=self._sim._now
+        )
         self.role(group).propose(value)
         return value
 
@@ -127,26 +133,54 @@ class RingHost(Process):
     # ------------------------------------------------------------------
     # infrastructure used by the roles
     # ------------------------------------------------------------------
-    def after_cpu(self, nbytes: int, action: Callable[[], None], messages: int = 1) -> None:
-        """Charge the host CPU for handling a message, then run ``action``.
+    def after_cpu(self, nbytes: int, action: Callable[..., None], *args, messages: int = 1) -> None:
+        """Charge the host CPU for handling a message, then run ``action(*args)``.
 
-        The action is dropped if the host crashes before the CPU work
-        completes (the real process would have lost it anyway).
+        The action is scheduled *directly* (no crash-guard wrapper), so every
+        action passed here MUST itself tolerate firing after a crash -- all
+        ring-role handlers start with a ``host.alive`` check.  The real
+        process would have lost the queued work on a crash anyway.  Passing
+        the action's arguments through instead of closing over them keeps
+        this per-message path allocation-free.
         """
-        done = self.cpu.charge(nbytes=nbytes, messages=messages)
-
-        def guarded() -> None:
-            if self.alive:
-                action()
-
-        if done <= self.now:
-            guarded()
+        # CPU.charge inlined (the accounting below matches it bit for bit):
+        # this runs once per protocol message on every host it crosses.
+        cpu = self.cpu
+        config = cpu.config
+        if nbytes:
+            work = (
+                messages * config.per_message_cost + nbytes * config.per_byte_cost
+            ) * config.overhead_factor
         else:
-            self.world.sim.schedule_at(done, guarded)
+            # nbytes * per_byte_cost == 0.0 exactly, so dropping the term
+            # leaves the float result unchanged.
+            work = messages * config.per_message_cost * config.overhead_factor
+        sim = self._sim
+        now = sim._now
+        done = cpu._busy_until
+        if now > done:
+            done = now
+        done += work
+        cpu._busy_until = done
+        cpu._busy_time += work
+        cpu.operations += 1
+        if done <= now:
+            if self.alive:
+                action(*args)
+        else:
+            # Inlined Simulator.call_at (done > now is guaranteed above).
+            heappush(sim._queue, (done, next(sim._seq), action, args))
 
     def ring_send(self, dest: str, msg) -> None:
-        """Send a protocol message to the next ring member."""
-        self.send(dest, msg, size_bytes=msg.size_bytes)
+        """Send a protocol message to the next ring member.
+
+        Inlines :meth:`~repro.sim.process.Process.send`: this runs once per
+        ring hop for every protocol message.
+        """
+        if not self.alive:
+            raise ProcessCrashedError(f"{self.name} is crashed and cannot send")
+        self.messages_sent += 1
+        self._network.send(self.name, dest, msg, msg.size_bytes)
 
     def send_direct(self, dest: str, msg) -> None:
         """Send a message outside the ring overlay (replies, recovery traffic)."""
@@ -157,15 +191,17 @@ class RingHost(Process):
 
         Crashed members are skipped (the real system reconfigures the ring
         through Zookeeper); circulation stops when the next live member is the
-        message's origin.
+        message's origin.  Walks the overlay's precomputed successor chain
+        instead of materializing the full ring order per hop.
         """
-        for candidate in overlay.walk_from(self.name):
-            if candidate == origin:
-                return None
-            if candidate == self.name:
-                return None
-            if self.world.has_process(candidate) and self.world.process(candidate).alive:
+        name = self.name
+        world = self.world
+        candidate = overlay.successor(name)
+        while candidate != origin and candidate != name:
+            process = world.get_process(candidate)
+            if process is not None and process.alive:
                 return candidate
+            candidate = overlay.successor(candidate)
         return None
 
     # ------------------------------------------------------------------
@@ -177,9 +213,13 @@ class RingHost(Process):
 
     def on_message(self, sender: str, payload) -> None:
         if isinstance(payload, _RING_MESSAGE_TYPES):
-            group = getattr(payload, "group", None)
-            if group is not None and group in self.roles:
-                self.roles[group].on_message(sender, payload)
+            role = self.roles.get(payload.group)
+            if role is not None:
+                # Dispatch straight off the role's exact-type handler table
+                # (skipping RingRole.on_message, one frame per message).
+                handler = role._dispatch.get(payload.__class__)
+                if handler is not None:
+                    handler(payload)
             return
         handlers = self._handlers.get(type(payload))
         if handlers:

@@ -50,6 +50,9 @@ __all__ = ["RingRole", "REPAIR_TOKEN"]
 #: gap-repair path (as opposed to replica recovery, which uses token 0).
 REPAIR_TOKEN = -1
 
+#: Sentinel distinguishing "no buffered value" from a buffered ``None``.
+_MISSING = object()
+
 
 class RingRole:
     """One process's participation in one Ring Paxos ring."""
@@ -63,6 +66,9 @@ class RingRole:
     ) -> None:
         self.host = host
         self.descriptor = descriptor
+        #: The ring order never changes for a live descriptor (membership
+        #: changes build a new ring); cached for the per-hop forward path.
+        self._overlay = descriptor.overlay
         self.config = config or RingConfig()
         self.group: GroupId = descriptor.group
         self.name = host.name
@@ -131,6 +137,15 @@ class RingRole:
         self._repair_pending: Set[InstanceId] = set()
         self._repair_cursor_seen: InstanceId = -1
 
+        # Exact-type message dispatch (ring messages are final classes); one
+        # dict hit replaces the isinstance chain on the per-message path.
+        self._dispatch = {
+            Proposal: self._on_proposal,
+            Phase2: self._on_phase2,
+            Decision: self._on_decision,
+            RetransmitRequest: self._on_retransmit_request,
+        }
+
         # Statistics.
         self.values_proposed = 0
         self.skips_proposed = 0
@@ -149,9 +164,11 @@ class RingRole:
             raise MulticastError(
                 f"{self.name} is not a proposer for group {self.group!r}"
             )
-        self.host.after_cpu(value.size_bytes, lambda: self._submit(value))
+        self.host.after_cpu(value.size_bytes, self._submit, value)
 
     def _submit(self, value: Value) -> None:
+        if not self.host.alive:
+            return  # the host crashed while the CPU work was queued
         if self.is_coordinator:
             self._intake(value)
         else:
@@ -159,6 +176,8 @@ class RingRole:
 
     def _intake(self, value: Value) -> None:
         """Coordinator intake: batch the value, or start it directly."""
+        if not self.host.alive:
+            return
         if self.batcher is not None:
             self.batcher.offer(value)
         else:
@@ -247,27 +266,22 @@ class RingRole:
         )
         # The coordinator is an acceptor: it logs its own vote before the
         # message leaves (Section 5.1).
-        self._log_vote(message, lambda: self._after_vote(message))
+        self._log_vote(message, self._after_vote, message)
 
     # ------------------------------------------------------------------
     # message handling
     # ------------------------------------------------------------------
     def on_message(self, sender: str, payload) -> None:
-        if isinstance(payload, Proposal):
-            self._on_proposal(payload)
-        elif isinstance(payload, Phase2):
-            self._on_phase2(payload)
-        elif isinstance(payload, Decision):
-            self._on_decision(payload)
-        elif isinstance(payload, RetransmitRequest):
-            self._on_retransmit_request(payload)
+        handler = self._dispatch.get(payload.__class__)
+        if handler is not None:
+            handler(payload)
 
     def _on_proposal(self, msg: Proposal) -> None:
         if self.is_coordinator:
-            self.host.after_cpu(msg.value.size_bytes, lambda: self._intake(msg.value))
+            self.host.after_cpu(msg.value.size_bytes, self._intake, msg.value)
         else:
             # Not the coordinator: keep forwarding clockwise.
-            self.host.after_cpu(0, lambda: self._forward(msg, origin=msg.value.proposer or self.name))
+            self.host.after_cpu(0, self._forward, msg, msg.value.proposer or self.name)
 
     def _on_phase2(self, msg: Phase2) -> None:
         if self.is_acceptor and not self.is_coordinator:
@@ -282,13 +296,15 @@ class RingRole:
                     votes=msg.votes | {self.name},
                     origin=msg.origin,
                 )
-                self.host.after_cpu(
-                    msg.value.size_bytes,
-                    lambda: self._log_vote(updated, lambda: self._after_vote(updated)),
-                )
+                self.host.after_cpu(msg.value.size_bytes, self._vote, updated)
                 return
         # Non-acceptors (and acceptors that cannot vote) forward unchanged.
-        self.host.after_cpu(0, lambda: self._forward(msg, origin=msg.origin))
+        self.host.after_cpu(0, self._forward, msg, msg.origin)
+
+    def _vote(self, msg: Phase2) -> None:
+        if not self.host.alive:
+            return
+        self._log_vote(msg, self._after_vote, msg)
 
     def _after_vote(self, msg: Phase2) -> None:
         if len(msg.votes) >= self.quorum:
@@ -307,21 +323,22 @@ class RingRole:
 
     def _on_decision(self, msg: Decision) -> None:
         cpu_bytes = msg.value.size_bytes if msg.instance not in self._learned else 0
-        self.host.after_cpu(cpu_bytes, lambda: self._apply_decision(msg))
+        self.host.after_cpu(cpu_bytes, self._apply_decision, msg)
 
     def _apply_decision(self, msg: Decision) -> None:
+        if not self.host.alive:
+            return
         self._learn(msg.instance, msg.count, msg.value)
-        if self.is_acceptor and self.storage is not None:
+        storage = self.storage
+        if storage is not None and self.is_acceptor:
             # Acceptors downstream of the decision never cast a vote; they
             # still log the decided value so that any acceptor can serve
             # retransmissions during recovery.
-            for offset in range(msg.count):
-                instance = msg.instance + offset
-                if self.storage.is_trimmed(instance):
-                    continue
-                if self.storage.accepted_value(instance) is None:
-                    self.storage.log_votes_range(instance, 1, self.ballot, msg.value)
-                self.storage.mark_decided(instance)
+            if msg.count == 1:
+                storage.note_decided(msg.instance, self.ballot, msg.value)
+            else:
+                for offset in range(msg.count):
+                    storage.note_decided(msg.instance + offset, self.ballot, msg.value)
         self._forward(msg, origin=msg.origin)
 
     def _on_retransmit_request(self, msg: RetransmitRequest) -> None:
@@ -348,16 +365,23 @@ class RingRole:
                 token=msg.token,
             )
         payload_bytes = sum(value.size_bytes for _, value in reply.entries)
-        self.host.after_cpu(payload_bytes, lambda: self.host.send_direct(msg.reply_to, reply))
+        self.host.after_cpu(payload_bytes, self._send_reply, msg.reply_to, reply)
+
+    def _send_reply(self, dest: str, reply: RetransmitReply) -> None:
+        if self.host.alive:
+            self.host.send_direct(dest, reply)
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _log_vote(self, msg: Phase2, done) -> None:
+    def _log_vote(self, msg: Phase2, done, *done_args) -> None:
         if self.storage is None:
-            done()
+            done(*done_args)
             return
-        self.storage.log_votes_range(msg.instance, msg.count, msg.ballot, msg.value, callback=done)
+        self.storage.log_votes_range(
+            msg.instance, msg.count, msg.ballot, msg.value,
+            callback=done, callback_args=done_args,
+        )
 
     def _mark_decided_range(self, first: InstanceId, count: int) -> None:
         if self.storage is None:
@@ -367,20 +391,35 @@ class RingRole:
 
     def _learn(self, first: InstanceId, count: int, value: Value) -> None:
         newly_learned = 0
-        for offset in range(count):
-            instance = first + offset
-            if instance in self._learned:
-                continue
-            self._learned.add(instance)
-            newly_learned += 1
-            if instance > self.highest_learned:
-                self.highest_learned = instance
-            if value.is_skip:
-                self.skips_learned += 1
-            else:
-                self.decisions_learned += 1
-            if self.is_learner and instance >= self._next_delivery:
-                self._out_of_order[instance] = value
+        learned = self._learned
+        if count == 1:
+            # Fast path: all but skip ranges cover a single instance.
+            if first not in learned:
+                learned.add(first)
+                newly_learned = 1
+                if first > self.highest_learned:
+                    self.highest_learned = first
+                if value.is_skip:
+                    self.skips_learned += 1
+                else:
+                    self.decisions_learned += 1
+                if self.is_learner and first >= self._next_delivery:
+                    self._out_of_order[first] = value
+        else:
+            for offset in range(count):
+                instance = first + offset
+                if instance in learned:
+                    continue
+                learned.add(instance)
+                newly_learned += 1
+                if instance > self.highest_learned:
+                    self.highest_learned = instance
+                if value.is_skip:
+                    self.skips_learned += 1
+                else:
+                    self.decisions_learned += 1
+                if self.is_learner and instance >= self._next_delivery:
+                    self._out_of_order[instance] = value
         self._release_in_order()
         if self.is_coordinator and newly_learned:
             self._inflight = max(0, self._inflight - newly_learned)
@@ -403,26 +442,31 @@ class RingRole:
         """
         if not self.is_learner:
             return
+        out_of_order = self._out_of_order
         while True:
-            if self._next_delivery in self._out_of_order:
-                value = self._out_of_order.pop(self._next_delivery)
-                instance = self._next_delivery
-                self._next_delivery += 1
-                self.host.notify_decision(self.group, instance, value)
-            elif self._next_delivery in self._injected:
-                self._injected.discard(self._next_delivery)
-                self._next_delivery += 1
+            cursor = self._next_delivery
+            value = out_of_order.pop(cursor, _MISSING)
+            if value is not _MISSING:
+                # Commit the cursor before notifying: the callback chain may
+                # fast-forward it (checkpoint install), and the loop re-reads
+                # it afterwards.
+                self._next_delivery = cursor + 1
+                self.host.notify_decision(self.group, cursor, value)
+            elif cursor in self._injected:
+                self._injected.discard(cursor)
+                self._next_delivery = cursor + 1
             else:
                 break
 
     def _forward(self, msg, origin: str) -> None:
         """Forward ``msg`` to the next live ring member, stopping at ``origin``."""
-        if not self.host.alive:
+        host = self.host
+        if not host.alive:
             return  # the host crashed while the message was being processed
-        next_hop = self.host.next_live_member(self.descriptor.overlay, origin)
+        next_hop = host.next_live_member(self._overlay, origin)
         if next_hop is None:
             return
-        self.host.ring_send(next_hop, msg)
+        host.ring_send(next_hop, msg)
 
     def learned_instances(self) -> List[InstanceId]:
         return sorted(self._learned)
@@ -536,7 +580,7 @@ class RingRole:
                 origin=self.name,
             )
             self.repairs_proposed += 1
-            self._log_vote(message, lambda m=message: self._after_vote(m))
+            self._log_vote(message, self._after_vote, message)
 
     def _repair_gap(self) -> None:
         """Fetch decided instances missing below the learner's known horizon.

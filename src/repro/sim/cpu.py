@@ -22,7 +22,7 @@ from repro.sim.engine import Simulator
 __all__ = ["CPUConfig", "CPU"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CPUConfig:
     """Per-message processing costs charged to a process's CPU."""
 
@@ -37,6 +37,8 @@ class CPUConfig:
 
 class CPU:
     """A serial CPU resource with busy-time accounting."""
+
+    __slots__ = ("sim", "config", "_busy_until", "_busy_time", "operations")
 
     def __init__(self, sim: Simulator, config: Optional[CPUConfig] = None) -> None:
         self.sim = sim
@@ -59,18 +61,33 @@ class CPU:
         """Occupy the CPU for ``work_seconds`` and return the completion time."""
         if work_seconds < 0:
             work_seconds = 0.0
-        start = max(self.sim.now, self._busy_until)
+        start = self._busy_until
+        now = self.sim.now
+        if now > start:
+            start = now
         end = start + work_seconds
         self._busy_until = end
         self._busy_time += work_seconds
         self.operations += 1
         if callback is not None:
-            self.sim.schedule_at(end, callback)
+            self.sim.call_at(end, callback)
         return end
 
     def charge(self, nbytes: int = 0, messages: int = 1) -> float:
-        """Convenience: :meth:`cost` followed by :meth:`execute`."""
-        return self.execute(self.cost(nbytes=nbytes, messages=messages))
+        """Convenience: :meth:`cost` followed by :meth:`execute` (inlined)."""
+        config = self.config
+        work = (
+            messages * config.per_message_cost + nbytes * config.per_byte_cost
+        ) * config.overhead_factor
+        start = self._busy_until
+        now = self.sim.now
+        if now > start:
+            start = now
+        end = start + work
+        self._busy_until = end
+        self._busy_time += work
+        self.operations += 1
+        return end
 
     # ------------------------------------------------------------------
     @property

@@ -97,6 +97,18 @@ class Disk:
     fires once enough previously buffered data has drained to the device.
     """
 
+    __slots__ = (
+        "sim",
+        "config",
+        "_busy_until",
+        "_buffered_bytes",
+        "_busy_time",
+        "bytes_written",
+        "ops",
+        "stalls",
+        "stalled_seconds",
+    )
+
     def __init__(self, sim: Simulator, config: DiskConfig) -> None:
         self.sim = sim
         self.config = config
@@ -156,14 +168,24 @@ class Disk:
         self.stalled_seconds += duration
         return self._busy_until
 
-    def write(self, nbytes: int, callback: Optional[Callable[[], None]] = None) -> float:
+    def write(
+        self,
+        nbytes: int,
+        callback: Optional[Callable[..., None]] = None,
+        callback_args: tuple = (),
+    ) -> float:
         """Synchronous (forced) write.  Returns the durability time."""
         done = self._reserve(nbytes)
         if callback is not None:
-            self.sim.schedule_at(done, callback)
+            self.sim.call_at(done, callback, *callback_args)
         return done
 
-    def write_async(self, nbytes: int, callback: Optional[Callable[[], None]] = None) -> float:
+    def write_async(
+        self,
+        nbytes: int,
+        callback: Optional[Callable[..., None]] = None,
+        callback_args: tuple = (),
+    ) -> float:
         """Write-back write.  Returns the time at which the *caller* may proceed.
 
         Data is considered accepted as soon as it fits in the write-back
@@ -173,7 +195,7 @@ class Disk:
         """
         done = self._reserve(nbytes, forced=False)
         self._buffered_bytes += nbytes
-        self.sim.schedule_at(done, self._drained, nbytes)
+        self.sim.call_at(done, self._drained, nbytes)
         if self._buffered_bytes <= self.config.writeback_buffer_bytes:
             accept = self.sim.now
         else:
@@ -181,7 +203,7 @@ class Disk:
             excess = self._buffered_bytes - self.config.writeback_buffer_bytes
             accept = self.sim.now + excess / self.config.bandwidth_bytes_per_sec
         if callback is not None:
-            self.sim.schedule_at(accept, callback)
+            self.sim.call_at(accept, callback, *callback_args)
         return accept
 
     def _drained(self, nbytes: int) -> None:
@@ -191,7 +213,7 @@ class Disk:
         """Sequential read of ``nbytes``; shares the device with writes."""
         done = self._reserve(nbytes)
         if callback is not None:
-            self.sim.schedule_at(done, callback)
+            self.sim.call_at(done, callback)
         return done
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

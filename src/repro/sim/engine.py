@@ -5,13 +5,26 @@ callbacks scheduled at absolute simulated times.  Ties are broken by an
 insertion sequence number so that two events scheduled for the same instant
 fire in FIFO order -- this keeps every run deterministic, which the test
 suite and the benchmark harness rely on.
+
+Hot-path design: heap entries are plain ``(time, seq, callback, args)``
+tuples, not objects.  Tuple comparison resolves on ``(time, seq)`` before it
+ever reaches the callback (sequence numbers are unique), so ordering is the
+exact FIFO-tie-break order the old ``Event.__lt__`` implemented -- without a
+Python-level dispatch per heap operation or an allocation per event.
+Cancellation works through a *tombstone set* of sequence numbers: cancelling
+marks the seq, and the pop loop discards marked entries.  Schedulers that
+never cancel (the network, CPU and disk models -- the vast majority of
+traffic) use :meth:`Simulator.call_at` / :meth:`Simulator.call_later`, which
+skip the kwargs plumbing and do not allocate a cancellation handle at all.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+import math
+from functools import partial
+from itertools import count
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 
@@ -19,34 +32,23 @@ __all__ = ["Event", "Simulator"]
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` and can be cancelled
     with :meth:`Simulator.cancel` (or :meth:`Event.cancel`).  Cancelled events
-    stay in the heap and are skipped when popped; when they outnumber the
-    live events the simulator compacts the heap (see
+    stay in the heap as tombstoned entries and are skipped when popped; when
+    they outnumber the live events the simulator compacts the heap (see
     :meth:`Simulator._note_cancelled`), so long runs with heavy timer churn
     (leveling intervals, reconfigurations) keep the calendar queue bounded.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "owner")
+    __slots__ = ("owner", "seq", "time", "cancelled")
 
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., Any],
-        args: tuple,
-        kwargs: dict,
-        owner: Optional["Simulator"] = None,
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.kwargs = kwargs
-        self.cancelled = False
+    def __init__(self, owner: "Simulator", seq: int, time: float) -> None:
         self.owner = owner
+        self.seq = seq
+        self.time = time
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -54,15 +56,11 @@ class Event:
             return
         self.cancelled = True
         if self.owner is not None:
-            self.owner._note_cancelled()
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+            self.owner._note_cancelled(self.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
-        name = getattr(self.callback, "__qualname__", repr(self.callback))
-        return f"Event(t={self.time:.6f}, {name}, {state})"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
 class Simulator:
@@ -83,13 +81,25 @@ class Simulator:
     #: more than the garbage it reclaims).
     COMPACT_MIN_QUEUE = 64
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_tombstones",
+        "_processed",
+        "_running",
+        "compactions",
+    )
+
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        #: Heap of ``(time, seq, callback, args)`` entries.
+        self._queue: List[Tuple[float, int, Callable[..., Any], tuple]] = []
+        self._seq = count()
+        #: Sequence numbers of cancelled-but-not-yet-popped entries.
+        self._tombstones: Set[int] = set()
         self._processed = 0
         self._running = False
-        self._cancelled_pending = 0
         self.compactions = 0
 
     # ------------------------------------------------------------------
@@ -113,6 +123,26 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast-path scheduling: no kwargs, no cancellation handle.
+
+        This is what the network, CPU and disk models use for their
+        fire-and-forget completions -- the overwhelming majority of events in
+        any experiment.  Use :meth:`schedule_at` when the event may need to
+        be cancelled.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time:.6f}, clock is already at t={self._now:.6f}"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), callback, args))
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast-path scheduling ``delay`` seconds from now (see :meth:`call_at`)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), callback, args))
+
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
         """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
         if delay < 0:
@@ -125,9 +155,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at t={time:.6f}, clock is already at t={self._now:.6f}"
             )
-        event = Event(time, next(self._seq), callback, args, kwargs, owner=self)
-        heapq.heappush(self._queue, event)
-        return event
+        if kwargs:
+            callback = partial(callback, *args, **kwargs)
+            args = ()
+        seq = next(self._seq)
+        heapq.heappush(self._queue, (time, seq, callback, args))
+        return Event(self, seq, time)
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event.  ``None`` is accepted and ignored."""
@@ -137,26 +170,29 @@ class Simulator:
     @property
     def cancelled_pending(self) -> int:
         """Cancelled events still occupying heap slots."""
-        return self._cancelled_pending
+        return len(self._tombstones)
 
-    def _note_cancelled(self) -> None:
+    def _note_cancelled(self, seq: int) -> None:
         """Bookkeeping hook called by :meth:`Event.cancel`.
 
         When cancelled events outnumber live ones the heap is rebuilt without
         them: long-running experiments with heavy timer churn would otherwise
         grow the calendar queue without bound.
         """
-        self._cancelled_pending += 1
+        self._tombstones.add(seq)
         if (
             len(self._queue) > self.COMPACT_MIN_QUEUE
-            and self._cancelled_pending * 2 > len(self._queue)
+            and len(self._tombstones) * 2 > len(self._queue)
         ):
             self._compact()
 
     def _compact(self) -> None:
-        self._queue = [event for event in self._queue if not event.cancelled]
+        # In-place rebuild: run() holds a local reference to the queue list,
+        # so the list object's identity must survive compaction.
+        tombstones = self._tombstones
+        self._queue[:] = [entry for entry in self._queue if entry[1] not in tombstones]
         heapq.heapify(self._queue)
-        self._cancelled_pending = 0
+        tombstones.clear()
         self.compactions += 1
 
     # ------------------------------------------------------------------
@@ -167,23 +203,27 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._cancelled_pending = max(0, self._cancelled_pending - 1)
+        queue = self._queue
+        tombstones = self._tombstones
+        while queue:
+            time, seq, callback, args = heapq.heappop(queue)
+            if seq in tombstones:
+                tombstones.discard(seq)
                 continue
-            self._now = event.time
+            self._now = time
             self._processed += 1
-            event.callback(*event.args, **event.kwargs)
+            callback(*args)
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None`` if idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-            self._cancelled_pending = max(0, self._cancelled_pending - 1)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        tombstones = self._tombstones
+        while queue and queue[0][1] in tombstones:
+            tombstones.discard(queue[0][1])
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -192,23 +232,53 @@ class Simulator:
         is given the clock is advanced to exactly ``until`` even if the last
         event fired earlier, which makes fixed-duration experiments easy to
         express.
+
+        The loop examines each popped entry exactly once: a cancelled head is
+        discarded on sight instead of being skipped by ``peek_time`` and then
+        re-scanned by ``step``.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        # Local bindings keep attribute lookups off the per-event path.
+        # Callbacks may mutate the queue and tombstone set, but both are
+        # only ever mutated in place (see _compact), so the references stay
+        # valid for the whole run.  The processed-event counter is batched
+        # into the finally block for the same reason.
+        queue = self._queue
+        tombstones = self._tombstones
+        heappop = heapq.heappop
+        horizon = math.inf if until is None else until
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
+            if max_events is None:
+                while queue:
+                    time, seq, callback, args = queue[0]
+                    if tombstones and seq in tombstones:
+                        tombstones.discard(seq)
+                        heappop(queue)
+                        continue
+                    if time > horizon:
+                        break
+                    heappop(queue)
+                    self._now = time
+                    callback(*args)
+                    executed += 1
+            else:
+                while queue and executed < max_events:
+                    time, seq, callback, args = queue[0]
+                    if tombstones and seq in tombstones:
+                        tombstones.discard(seq)
+                        heappop(queue)
+                        continue
+                    if time > horizon:
+                        break
+                    heappop(queue)
+                    self._now = time
+                    callback(*args)
+                    executed += 1
         finally:
+            self._processed += executed
             self._running = False
         if until is not None and self._now < until:
             self._now = until

@@ -125,11 +125,22 @@ class ThroughputTimeline:
 
 
 class Monitor:
-    """Collects operation samples for one simulation run."""
+    """Collects operation samples for one simulation run.
+
+    Recording is the hot path (one call per completed operation, across the
+    whole experiment); aggregation happens at query time.
+    :meth:`record_operation` therefore only appends a raw
+    ``(completion_time, latency, size_bytes)`` sample, and the per-interval
+    throughput timelines are materialized lazily -- incrementally folding in
+    the samples recorded since the previous query -- instead of being updated
+    per event.
+    """
 
     def __init__(self, timeline_window: float = 1.0) -> None:
-        self._latencies: Dict[str, List[float]] = defaultdict(list)
+        self._samples: Dict[str, List[Tuple[float, float, int]]] = defaultdict(list)
         self._timelines: Dict[str, ThroughputTimeline] = {}
+        #: Per-series count of samples already folded into the timeline.
+        self._timeline_counts: Dict[str, int] = {}
         self._timeline_window = timeline_window
         self._counters: Dict[str, int] = defaultdict(int)
         self._gauges: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
@@ -145,8 +156,7 @@ class Monitor:
         size_bytes: int = 0,
     ) -> None:
         """Record a completed operation on ``series``."""
-        self._latencies[series].append(latency)
-        self.timeline(series).record(completion_time, size_bytes)
+        self._samples[series].append((completion_time, latency, size_bytes))
 
     def increment(self, counter: str, amount: int = 1) -> None:
         """Increment a named counter (e.g. aborts, retransmissions, skips)."""
@@ -157,15 +167,27 @@ class Monitor:
         self._gauges[gauge].append((time, value))
 
     def timeline(self, series: str) -> ThroughputTimeline:
-        if series not in self._timelines:
-            self._timelines[series] = ThroughputTimeline(self._timeline_window)
-        return self._timelines[series]
+        """The (lazily materialized) throughput timeline for ``series``."""
+        timeline = self._timelines.get(series)
+        if timeline is None:
+            timeline = ThroughputTimeline(self._timeline_window)
+            self._timelines[series] = timeline
+            self._timeline_counts[series] = 0
+        samples = self._samples.get(series)
+        if samples is not None:
+            folded = self._timeline_counts[series]
+            if folded < len(samples):
+                record = timeline.record
+                for completion_time, _, size_bytes in samples[folded:]:
+                    record(completion_time, size_bytes)
+                self._timeline_counts[series] = len(samples)
+        return timeline
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def series_names(self) -> List[str]:
-        return sorted(set(self._latencies) | set(self._timelines))
+        return sorted(set(self._samples) | set(self._timelines))
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -185,10 +207,10 @@ class Monitor:
     def latencies(self, series: Optional[str] = None) -> List[float]:
         """Raw latency samples for one series, or for all series combined."""
         if series is not None:
-            return list(self._latencies.get(series, []))
+            return [latency for _, latency, _ in self._samples.get(series, [])]
         merged: List[float] = []
-        for samples in self._latencies.values():
-            merged.extend(samples)
+        for samples in self._samples.values():
+            merged.extend(latency for _, latency, _ in samples)
         return merged
 
     def latency_stats(self, series: Optional[str] = None) -> LatencyStats:
@@ -227,7 +249,7 @@ class Monitor:
         span_start = math.inf
         span_end = -math.inf
         for name in names:
-            timeline = self._timelines.get(name)
+            timeline = self._materialized(name)
             if timeline is None:
                 continue
             for bucket_start, ops, _ in timeline.buckets():
@@ -260,7 +282,7 @@ class Monitor:
         span_start = math.inf
         span_end = -math.inf
         for name in names:
-            timeline = self._timelines.get(name)
+            timeline = self._materialized(name)
             if timeline is None:
                 continue
             for bucket_start, _, nbytes in timeline.buckets():
@@ -280,6 +302,12 @@ class Monitor:
         if duration <= 0:
             return 0.0
         return total_bytes * 8 / 1e6 / duration
+
+    def _materialized(self, series: str) -> Optional[ThroughputTimeline]:
+        """The series' timeline, or ``None`` for a series never recorded."""
+        if series not in self._samples and series not in self._timelines:
+            return None
+        return self.timeline(series)
 
     def throughput_series(self, series: str) -> List[Tuple[float, float]]:
         """``(time, ops_per_second)`` timeline for one series (Figure 8)."""

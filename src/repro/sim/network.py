@@ -18,6 +18,7 @@ connection; the protocols above re-establish state through recovery).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.errors import NetworkError
@@ -30,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["NetworkConfig", "Network"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkConfig:
     """Tunable constants of the network model.
 
@@ -59,6 +60,28 @@ class _Nic:
 class Network:
     """Routes messages between attached processes."""
 
+    __slots__ = (
+        "sim",
+        "topology",
+        "config",
+        "_processes",
+        "_sites",
+        "_nics",
+        "_fifo_clock",
+        "_final_nic_bytes",
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+        "bytes_sent",
+        "_blocked_site_pairs",
+        "_isolated",
+        "_extra_latency",
+        "messages_blocked",
+        "_link_cache",
+        "_route_cache",
+        "_topology_version",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -72,6 +95,10 @@ class Network:
         self._sites: Dict[str, str] = {}
         self._nics: Dict[str, _Nic] = {}
         self._fifo_clock: Dict[Tuple[str, str], float] = {}
+        #: Final byte counters of detached processes (``name -> (tx, rx)``),
+        #: so churn-heavy campaigns can still report per-process totals after
+        #: the NIC state itself has been pruned.
+        self._final_nic_bytes: Dict[str, Tuple[int, int]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -83,6 +110,17 @@ class Network:
         self._isolated: Set[str] = set()
         self._extra_latency: Dict[FrozenSet[str], float] = {}
         self.messages_blocked = 0
+        # Hot-path caches.  ``_link_cache``: ``(src_site, dst_site) ->
+        # (blocked, bandwidth_bps, propagation_incl_extra)``.  ``_route_cache``
+        # goes one step further, ``(src, dst) -> link entry + both NIC
+        # objects``, so the per-send path does a single dict hit instead of
+        # topology lookups and frozenset allocations.  Both are computed
+        # lazily on first send and invalidated wholesale whenever a fault
+        # mutates link state, membership changes, or the topology itself
+        # changes (tracked by its version counter).
+        self._link_cache: Dict[Tuple[str, str], Tuple[bool, float, float]] = {}
+        self._route_cache: Dict[Tuple[str, str], tuple] = {}
+        self._topology_version = self.topology.version
 
     # ------------------------------------------------------------------
     # membership
@@ -94,10 +132,27 @@ class Network:
         self._processes[process.name] = process
         self._sites[process.name] = site
         self._nics.setdefault(process.name, _Nic())
+        self._route_cache.clear()
 
     def detach(self, name: str) -> None:
+        """Remove a process from the network, pruning its per-process state.
+
+        Chaos campaigns with crash/restart churn detach and re-attach
+        processes constantly; leaving NIC and FIFO-clock entries behind would
+        grow memory without bound.  The final byte counters stay retrievable
+        through :meth:`nic_bytes`.
+        """
         self._processes.pop(name, None)
         self._sites.pop(name, None)
+        self._isolated.discard(name)
+        self._route_cache.clear()
+        nic = self._nics.pop(name, None)
+        if nic is not None:
+            self._final_nic_bytes[name] = (nic.tx_bytes, nic.rx_bytes)
+        if self._fifo_clock:
+            stale = [pair for pair in self._fifo_clock if name in pair]
+            for pair in stale:
+                del self._fifo_clock[pair]
 
     def site_of(self, name: str) -> str:
         try:
@@ -125,10 +180,14 @@ class Network:
         self._check_site(site_a)
         self._check_site(site_b)
         self._blocked_site_pairs.add(frozenset((site_a, site_b)))
+        self._link_cache.clear()
+        self._route_cache.clear()
 
     def unblock_sites(self, site_a: str, site_b: str) -> None:
         """Heal a partition created with :meth:`block_sites` (idempotent)."""
         self._blocked_site_pairs.discard(frozenset((site_a, site_b)))
+        self._link_cache.clear()
+        self._route_cache.clear()
 
     def partition_sites(self, sites_a: Iterable[str], sites_b: Iterable[str]) -> None:
         """Partition every site in ``sites_a`` from every site in ``sites_b``."""
@@ -159,10 +218,14 @@ class Network:
         self._check_site(site_a)
         self._check_site(site_b)
         self._extra_latency[frozenset((site_a, site_b))] = extra_seconds
+        self._link_cache.clear()
+        self._route_cache.clear()
 
     def clear_extra_latency(self, site_a: str, site_b: str) -> None:
         """Remove a latency spike set with :meth:`set_extra_latency` (idempotent)."""
         self._extra_latency.pop(frozenset((site_a, site_b)), None)
+        self._link_cache.clear()
+        self._route_cache.clear()
 
     def link_faulted(self, src: str, dst: str) -> bool:
         """True when a message from ``src`` to ``dst`` would currently be dropped."""
@@ -176,6 +239,40 @@ class Network:
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------
+    def _link_entry(self, src_site: str, dst_site: str) -> Tuple[bool, float, float]:
+        """Compute and cache ``(blocked, bandwidth, propagation)`` for a site pair."""
+        blocked = False
+        if self._blocked_site_pairs:
+            blocked = frozenset((src_site, dst_site)) in self._blocked_site_pairs
+        bandwidth = self.topology.bandwidth(src_site, dst_site)
+        propagation = self.topology.latency(src_site, dst_site)
+        if self._extra_latency:
+            propagation += self._extra_latency.get(frozenset((src_site, dst_site)), 0.0)
+        entry = (blocked, bandwidth, propagation)
+        self._link_cache[(src_site, dst_site)] = entry
+        return entry
+
+    def _build_route(self, src: str, dst: str) -> tuple:
+        """Compute and cache the full per-process-pair route tuple.
+
+        The last element is the interned FIFO-clock key, so the send path
+        does not rebuild the ``(src, dst)`` tuple for the clock lookup.
+        """
+        sites = self._sites
+        src_site = sites.get(src)
+        if src_site is None:
+            raise NetworkError(f"unknown sender {src!r}")
+        dst_site = sites.get(dst)
+        if dst_site is None:
+            raise NetworkError(f"unknown destination {dst!r}")
+        entry = self._link_cache.get((src_site, dst_site))
+        if entry is None:
+            entry = self._link_entry(src_site, dst_site)
+        key = (src, dst)
+        route = entry + (self._nics[src], self._nics[dst], key)
+        self._route_cache[key] = route
+        return route
+
     def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> float:
         """Send ``payload`` from ``src`` to ``dst``.
 
@@ -183,51 +280,67 @@ class Network:
         the destination's ``on_message`` untouched (the simulator does not
         serialize Python objects; ``size_bytes`` drives the timing model).
         """
-        if src not in self._processes:
-            raise NetworkError(f"unknown sender {src!r}")
-        if dst not in self._processes:
-            raise NetworkError(f"unknown destination {dst!r}")
-        if self.link_faulted(src, dst):
-            # Partitioned link or isolated endpoint: TCP would stall and
-            # eventually reset; the protocols recover through retransmission.
+        if self._isolated and (src in self._isolated or dst in self._isolated):
+            # NIC/switch fault on either endpoint: the message never leaves.
             self.messages_blocked += 1
             return self.sim.now
-        wire_bytes = max(0, size_bytes) + self.config.per_message_overhead_bytes
-        src_site = self._sites[src]
-        dst_site = self._sites[dst]
-        bandwidth = self.topology.bandwidth(src_site, dst_site)
-        propagation = self.topology.latency(src_site, dst_site)
-        if self._extra_latency:
-            propagation += self._extra_latency.get(frozenset((src_site, dst_site)), 0.0)
+        if self.topology.version != self._topology_version:
+            self._link_cache.clear()
+            self._route_cache.clear()
+            self._topology_version = self.topology.version
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = self._build_route(src, dst)
+        blocked, bandwidth, propagation, src_nic, dst_nic, key = route
+        if blocked:
+            # Partitioned link: TCP would stall and eventually reset; the
+            # protocols recover through retransmission.
+            self.messages_blocked += 1
+            return self.sim.now
+
+        config = self.config
+        if size_bytes < 0:
+            size_bytes = 0
+        wire_bytes = size_bytes + config.per_message_overhead_bytes
         transmit_time = wire_bytes * 8.0 / bandwidth
 
-        now = self.sim.now
-        src_nic = self._nics[src]
-        dst_nic = self._nics[dst]
+        sim = self.sim
+        now = sim._now
 
         # Serialize on the sender's transmit path.
-        tx_start = max(now, src_nic.tx_free_at)
+        tx_start = src_nic.tx_free_at
+        if now > tx_start:
+            tx_start = now
         tx_end = tx_start + transmit_time
         src_nic.tx_free_at = tx_end
         src_nic.tx_bytes += wire_bytes
 
         # Propagation plus serialization on the receiver's receive path.
         arrival = tx_end + propagation
-        rx_start = max(arrival, dst_nic.rx_free_at)
+        rx_start = dst_nic.rx_free_at
+        if arrival > rx_start:
+            rx_start = arrival
         rx_end = rx_start + transmit_time
         dst_nic.rx_free_at = rx_end
         dst_nic.rx_bytes += wire_bytes
 
-        delivery = max(rx_end, now + self.config.min_delivery_delay)
+        delivery = now + config.min_delivery_delay
+        if rx_end > delivery:
+            delivery = rx_end
 
         # FIFO per ordered (src, dst) pair, like a TCP connection.
-        key = (src, dst)
-        delivery = max(delivery, self._fifo_clock.get(key, 0.0))
-        self._fifo_clock[key] = delivery
+        fifo_clock = self._fifo_clock
+        previous = fifo_clock.get(key)
+        if previous is not None and previous > delivery:
+            delivery = previous
+        fifo_clock[key] = delivery
 
         self.messages_sent += 1
         self.bytes_sent += wire_bytes
-        self.sim.schedule_at(delivery, self._deliver, src, dst, payload)
+        # Inlined Simulator.call_at: ``delivery`` can never be in the past
+        # (it is floored at now + min_delivery_delay above), so the
+        # validation -- and one call per message -- is skipped.
+        heappush(sim._queue, (delivery, next(sim._seq), self._deliver, (src, dst, payload)))
         return delivery
 
     def _deliver(self, src: str, dst: str, payload: Any) -> None:
@@ -238,16 +351,22 @@ class Network:
                 return
             raise NetworkError(f"destination {dst!r} is not available")
         self.messages_delivered += 1
-        process.deliver_message(src, payload)
+        # Process.deliver_message inlined (its alive check is already done).
+        process.messages_received += 1
+        process.on_message(src, payload)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def nic_bytes(self, name: str) -> Tuple[int, int]:
-        """Return ``(tx_bytes, rx_bytes)`` transferred by a process's NIC."""
+        """Return ``(tx_bytes, rx_bytes)`` transferred by a process's NIC.
+
+        For a detached process the snapshot taken at :meth:`detach` time is
+        returned.
+        """
         nic = self._nics.get(name)
         if nic is None:
-            return (0, 0)
+            return self._final_nic_bytes.get(name, (0, 0))
         return (nic.tx_bytes, nic.rx_bytes)
 
     def one_way_latency(self, src: str, dst: str) -> float:

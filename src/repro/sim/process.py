@@ -31,6 +31,8 @@ __all__ = ["Timer", "Process"]
 class Timer:
     """A (possibly periodic) timer owned by a process."""
 
+    __slots__ = ("_process", "_interval", "_callback", "_args", "_periodic", "_event", "_active")
+
     def __init__(
         self,
         process: "Process",

@@ -48,7 +48,7 @@ EC2_REGION_RTT_MS: Dict[Tuple[str, str], float] = {
 EC2_REGIONS: List[str] = ["eu-west-1", "us-west-1", "us-east-1", "us-west-2"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Link:
     latency: float  # one-way seconds
     bandwidth_bps: float  # bits per second
@@ -56,6 +56,8 @@ class _Link:
 
 class Topology:
     """Pairwise latency/bandwidth between named sites."""
+
+    __slots__ = ("_sites", "_default", "_links", "version")
 
     def __init__(
         self,
@@ -68,6 +70,10 @@ class Topology:
             raise ConfigurationError("a topology needs at least one site")
         self._default = _Link(default_latency, default_bandwidth_bps)
         self._links: Dict[Tuple[str, str], _Link] = {}
+        #: Bumped on every mutation (new site, changed link).  The network
+        #: layer snapshots it to know when its per-site-pair link cache is
+        #: stale without registering callbacks on the topology.
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -80,6 +86,7 @@ class Topology:
     def add_site(self, site: str) -> None:
         if site not in self._sites:
             self._sites.append(site)
+            self.version += 1
 
     def set_link(
         self,
@@ -95,6 +102,7 @@ class Topology:
         link = _Link(latency, bandwidth_bps or self._default.bandwidth_bps)
         self._links[(site_a, site_b)] = link
         self._links[(site_b, site_a)] = link
+        self.version += 1
 
     def _link(self, src_site: str, dst_site: str) -> _Link:
         return self._links.get((src_site, dst_site), self._default)

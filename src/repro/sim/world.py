@@ -59,13 +59,17 @@ class World:
         if self._started:
             # Late-joining processes (e.g. a replacement replica) start
             # immediately.
-            self.sim.schedule(0.0, process.on_start)
+            self.sim.call_later(0.0, process.on_start)
 
     def process(self, name: str) -> "Process":
         try:
             return self._processes[name]
         except KeyError:
             raise NetworkError(f"unknown process {name!r}") from None
+
+    def get_process(self, name: str) -> Optional["Process"]:
+        """The process named ``name``, or ``None`` (no-raise hot-path lookup)."""
+        return self._processes.get(name)
 
     def has_process(self, name: str) -> bool:
         return name in self._processes
@@ -85,7 +89,7 @@ class World:
             return
         self._started = True
         for process in list(self._processes.values()):
-            self.sim.schedule(0.0, process.on_start)
+            self.sim.call_later(0.0, process.on_start)
 
     @property
     def started(self) -> bool:

@@ -36,13 +36,16 @@ RingPosition = int
 _value_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Value:
     """A proposed/decided value.
 
     ``uid`` is globally unique, assigned at creation time.  ``is_skip`` marks
     the null values coordinators propose to skip consensus instances for rate
-    leveling (Section 4).
+    leveling (Section 4).  Slotted and non-frozen (values are the
+    most-created and most-touched objects in the whole simulator; the frozen
+    ``object.__setattr__`` init cost is measurable), but treated as
+    immutable everywhere -- nothing may mutate a value after creation.
     """
 
     uid: int
@@ -89,7 +92,7 @@ def skip_value(created_at: float = 0.0, proposer: Optional[str] = None) -> Value
 BATCH_HEADER_BYTES = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValueBatch:
     """Several application values packed into one consensus value.
 

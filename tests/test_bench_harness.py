@@ -121,6 +121,7 @@ class TestHarnessPresets:
             "reconfig",
             "batching",
             "chaos",
+            "perf",
         }
 
 

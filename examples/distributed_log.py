@@ -4,7 +4,8 @@
 The scenario mirrors the paper's dLog service (Section 6.2): two logs, each
 replicated by its own Ring Paxos ring, two replicas subscribing to both logs,
 clients appending 1 KB entries, and multi-append commands that atomically
-append the same entry to both logs through the shared ring.
+append the same entry to both logs through the shared ring.  The deployment
+is built through the :class:`repro.api.AtomicMulticast` facade.
 
 Run with::
 
@@ -13,59 +14,54 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import AtomicMulticast
 from repro.config import MultiRingConfig
-from repro.services.dlog import DLog
-from repro.sim.disk import StorageMode
-from repro.sim.world import World
-from repro.smr.client import ClosedLoopClient
+from repro.runtime.interfaces import StorageMode
 from repro.workloads.simple import AppendWorkload
 
 
 def main() -> None:
-    world = World(seed=11)
-    dlog = DLog(
-        world,
-        logs=("orders", "audit"),
-        replicas=2,
-        acceptors_per_log=3,
-        storage_mode=StorageMode.SYNC_SSD,   # appends are durable before the client is answered
-        use_global_ring=True,
-        config=MultiRingConfig.datacenter(),
-    )
-
-    # A workload that mostly appends to one log, with 20% atomic multi-appends
-    # hitting both logs (e.g. "write the order and its audit record together").
-    workload = AppendWorkload(
-        dlog,
-        logs=["orders", "audit"],
-        append_size=1024,
-        series="appends",
-        multi_append_fraction=0.2,
-    )
-    client = ClosedLoopClient(
-        world,
-        "append-client",
-        workload,
-        dlog.frontends_for_client(0),
-        threads=16,
-        series="appends",
-    )
-
-    world.run(until=10.0)
-
-    monitor = world.monitor
-    print(f"Appends completed:      {client.completed}")
-    print(f"Throughput:             {monitor.throughput_ops('appends', start=2.0, end=10.0):.1f} ops/s")
-    print(f"Mean latency:           {monitor.latency_stats('appends').mean * 1e3:.2f} ms")
-    print(f"99th percentile:        {monitor.latency_stats('appends').p99 * 1e3:.2f} ms")
-
-    replica_a, replica_b = dlog.replica_nodes
-    print("\nPer-log tail positions (identical on both replicas):")
-    for log in ("orders", "audit"):
-        print(
-            f"   {log:<8} replica-0 -> {replica_a.state_machine.next_position(log):6d}   "
-            f"replica-1 -> {replica_b.state_machine.next_position(log):6d}"
+    with AtomicMulticast(seed=11, config=MultiRingConfig.datacenter()) as am:
+        dlog = am.dlog(
+            logs=("orders", "audit"),
+            replicas=2,
+            acceptors_per_log=3,
+            storage_mode=StorageMode.SYNC_SSD,   # appends are durable before the client is answered
+            use_global_ring=True,
         )
+
+        # A workload that mostly appends to one log, with 20% atomic multi-appends
+        # hitting both logs (e.g. "write the order and its audit record together").
+        workload = AppendWorkload(
+            dlog,
+            logs=["orders", "audit"],
+            append_size=1024,
+            series="appends",
+            multi_append_fraction=0.2,
+        )
+        client = am.client(
+            "append-client",
+            workload,
+            dlog.frontends_for_client(0),
+            threads=16,
+            series="appends",
+        )
+
+        am.run(until=10.0)
+
+        monitor = am.monitor
+        print(f"Appends completed:      {client.completed}")
+        print(f"Throughput:             {monitor.throughput_ops('appends', start=2.0, end=10.0):.1f} ops/s")
+        print(f"Mean latency:           {monitor.latency_stats('appends').mean * 1e3:.2f} ms")
+        print(f"99th percentile:        {monitor.latency_stats('appends').p99 * 1e3:.2f} ms")
+
+        replica_a, replica_b = dlog.replica_nodes
+        print("\nPer-log tail positions (identical on both replicas):")
+        for log in ("orders", "audit"):
+            print(
+                f"   {log:<8} replica-0 -> {replica_a.state_machine.next_position(log):6d}   "
+                f"replica-1 -> {replica_b.state_machine.next_position(log):6d}"
+            )
 
 
 if __name__ == "__main__":

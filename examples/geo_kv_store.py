@@ -5,6 +5,8 @@ This is the scenario of the paper's horizontal-scalability experiment
 (Section 8.4.2): one partition (ring) per region, replicas of all regions
 also subscribing to a global ring, clients in each region updating keys of
 their local partition, and a cross-partition scan ordered by the global ring.
+The deployment is built through the :class:`repro.api.AtomicMulticast`
+facade on the simulated WAN topology.
 
 Run with::
 
@@ -13,69 +15,68 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import AtomicMulticast
 from repro.config import BatchingConfig, MultiRingConfig
-from repro.services.mrpstore import MRPStore
-from repro.sim.disk import StorageMode
+from repro.runtime.interfaces import StorageMode
 from repro.sim.topology import EC2_REGIONS, wan_topology
-from repro.sim.world import World
-from repro.smr.client import ClosedLoopClient
 from repro.workloads.simple import UpdateWorkload
 
 
 def main() -> None:
     regions = EC2_REGIONS  # eu-west-1, us-west-1, us-east-1, us-west-2
-    world = World(topology=wan_topology(), seed=7, default_site=regions[0])
-
-    store = MRPStore(
-        world,
-        partitions=len(regions),
-        replicas_per_partition=1,
-        acceptors_per_partition=3,
-        use_global_ring=True,
-        storage_mode=StorageMode.ASYNC_SSD,
+    with AtomicMulticast(
+        topology=wan_topology(),
+        seed=7,
+        default_site=regions[0],
         config=MultiRingConfig.wide_area(),   # M=1, Δ=20 ms, λ=2000
-        batching=BatchingConfig(enabled=True, max_batch_bytes=32 * 1024),
-        partition_sites={f"p{i}": region for i, region in enumerate(regions)},
-        key_space=2000,
-    )
-    store.load(record_count=2000, value_size=1024)
-
-    # One client per region, updating only keys stored in its local partition.
-    clients = []
-    for index, region in enumerate(regions):
-        partition = f"p{index}"
-        local_keys = [
-            i for i in range(2000)
-            if store.partition_map.partition_of(store.key(i)) == partition
-        ][:100]
-        workload = UpdateWorkload(store, local_keys, value_size=1024, series=f"region/{region}")
-        clients.append(
-            ClosedLoopClient(
-                world,
-                f"client-{region}",
-                workload,
-                store.frontends_for_client(index),
-                threads=8,
-                site=region,
-                series=f"region/{region}",
-            )
+    ) as am:
+        store = am.mrpstore(
+            partitions=len(regions),
+            replicas_per_partition=1,
+            acceptors_per_partition=3,
+            use_global_ring=True,
+            storage_mode=StorageMode.ASYNC_SSD,
+            batching=BatchingConfig(enabled=True, max_batch_bytes=32 * 1024),
+            partition_sites={f"p{i}": region for i, region in enumerate(regions)},
+            key_space=2000,
         )
+        store.load(record_count=2000, value_size=1024)
 
-    world.run(until=20.0)
+        # One client per region, updating only keys stored in its local partition.
+        clients = []
+        for index, region in enumerate(regions):
+            partition = f"p{index}"
+            local_keys = [
+                i for i in range(2000)
+                if store.partition_map.partition_of(store.key(i)) == partition
+            ][:100]
+            workload = UpdateWorkload(store, local_keys, value_size=1024, series=f"region/{region}")
+            clients.append(
+                am.client(
+                    f"client-{region}",
+                    workload,
+                    store.frontends_for_client(index),
+                    threads=8,
+                    site=region,
+                    series=f"region/{region}",
+                )
+            )
 
-    print("Per-region update throughput (ops/s) and mean latency (ms):")
-    for region in regions:
-        ops = world.monitor.throughput_ops(f"region/{region}", start=4.0, end=20.0)
-        latency = world.monitor.latency_stats(f"region/{region}").mean * 1e3
-        print(f"   {region:<12} {ops:8.1f} ops/s   {latency:7.1f} ms")
+        am.run(until=20.0)
 
-    aggregate = sum(
-        world.monitor.throughput_ops(f"region/{region}", start=4.0, end=20.0) for region in regions
-    )
-    print(f"\nAggregate throughput: {aggregate:.1f} ops/s")
-    print("Latency is dominated by the WAN round trips of the global ring's")
-    print("deterministic merge, while regional throughput stays independent --")
-    print("which is exactly the behaviour Figure 7 of the paper reports.")
+        print("Per-region update throughput (ops/s) and mean latency (ms):")
+        for region in regions:
+            ops = am.monitor.throughput_ops(f"region/{region}", start=4.0, end=20.0)
+            latency = am.monitor.latency_stats(f"region/{region}").mean * 1e3
+            print(f"   {region:<12} {ops:8.1f} ops/s   {latency:7.1f} ms")
+
+        aggregate = sum(
+            am.monitor.throughput_ops(f"region/{region}", start=4.0, end=20.0) for region in regions
+        )
+        print(f"\nAggregate throughput: {aggregate:.1f} ops/s")
+        print("Latency is dominated by the WAN round trips of the global ring's")
+        print("deterministic merge, while regional throughput stays independent --")
+        print("which is exactly the behaviour Figure 7 of the paper reports.")
 
 
 if __name__ == "__main__":

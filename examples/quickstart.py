@@ -1,15 +1,19 @@
 #!/usr/bin/env python
 """Quickstart: atomic multicast with Multi-Ring Paxos in a few lines.
 
-The example builds the deployment of Figure 2(c) of the paper: two rings
-(multicast groups), learners L1 and L2 subscribing to both rings, and learner
-L3 subscribing only to ring 2.  It multicasts a handful of messages and shows
-that
+The example builds the deployment of Figure 2(c) of the paper through the
+:class:`repro.api.AtomicMulticast` facade: two rings (multicast groups),
+learners L1 and L2 subscribing to both rings, and learner L3 subscribing only
+to ring 2.  It multicasts a handful of messages and shows that
 
 * every learner delivers the messages of the groups it subscribed to,
 * learners subscribing to the same groups deliver them in the same order
   (the deterministic merge), and
 * rate leveling keeps the busy ring from being held back by the idle one.
+
+The same protocol stack runs live over localhost TCP through the same
+facade (``backend="live"``, rings declared before entering the context --
+see the README's live-mode quickstart or ``python -m repro.live --smoke``).
 
 Run with::
 
@@ -18,63 +22,53 @@ Run with::
 
 from __future__ import annotations
 
-from repro.config import MultiRingConfig
-from repro.multiring.deployment import Deployment, RingSpec
-from repro.sim.world import World
+from repro.api import AtomicMulticast
 
 
 def main() -> None:
-    world = World(seed=1)
-    deployment = Deployment(world, MultiRingConfig.datacenter())
-
-    # Ring 1: three acceptor/proposer processes, learners L1 and L2.
-    deployment.add_ring(
-        RingSpec(
-            group="ring-1",
+    with AtomicMulticast(seed=1) as am:
+        # Ring 1: three acceptor/proposer processes, learners L1 and L2.
+        am.ring(
+            "ring-1",
             members=["a1", "a2", "a3", "L1", "L2"],
             acceptors=["a1", "a2", "a3"],
             proposers=["a1", "a2", "a3"],
             learners=["L1", "L2"],
         )
-    )
-    # Ring 2: its own acceptors, learners L1, L2 and L3.
-    deployment.add_ring(
-        RingSpec(
-            group="ring-2",
+        # Ring 2: its own acceptors, learners L1, L2 and L3.
+        am.ring(
+            "ring-2",
             members=["b1", "b2", "b3", "L1", "L2", "L3"],
             acceptors=["b1", "b2", "b3"],
             proposers=["b1", "b2", "b3"],
             learners=["L1", "L2", "L3"],
         )
-    )
 
-    deliveries = {name: [] for name in ("L1", "L2", "L3")}
-    for name in deliveries:
-        deployment.node(name).on_deliver(
-            lambda d, name=name: deliveries[name].append((d.group, d.value.payload))
-        )
+        deliveries = {name: [] for name in ("L1", "L2", "L3")}
+        for name in deliveries:
+            am.node(name).on_deliver(
+                lambda d, name=name: deliveries[name].append((d.group, d.value.payload))
+            )
 
-    world.start()
+        # multicast(γ, m): each message goes to exactly one group.
+        for index in range(5):
+            am.submit("ring-1", f"ring1-message-{index}", size_bytes=1024)
+        for index in range(3):
+            am.submit("ring-2", f"ring2-message-{index}", size_bytes=1024)
 
-    # multicast(γ, m): each message goes to exactly one group.
-    for index in range(5):
-        deployment.multicast("ring-1", f"ring1-message-{index}", size_bytes=1024)
-    for index in range(3):
-        deployment.multicast("ring-2", f"ring2-message-{index}", size_bytes=1024)
+        am.run(until=1.0)
 
-    world.run(until=1.0)
+        print("Deliveries at L1 (subscribes to ring-1 and ring-2):")
+        for group, payload in deliveries["L1"]:
+            print(f"   [{group}] {payload}")
+        print("\nDeliveries at L3 (subscribes to ring-2 only):")
+        for group, payload in deliveries["L3"]:
+            print(f"   [{group}] {payload}")
 
-    print("Deliveries at L1 (subscribes to ring-1 and ring-2):")
-    for group, payload in deliveries["L1"]:
-        print(f"   [{group}] {payload}")
-    print("\nDeliveries at L3 (subscribes to ring-2 only):")
-    for group, payload in deliveries["L3"]:
-        print(f"   [{group}] {payload}")
-
-    same_order = deliveries["L1"] == deliveries["L2"]
-    print(f"\nL1 and L2 delivered exactly the same sequence: {same_order}")
-    skips = deployment.coordinator_of("ring-2").skip_statistics()
-    print(f"Skip instances proposed by ring-2's coordinator (rate leveling): {skips['ring-2']}")
+        same_order = deliveries["L1"] == deliveries["L2"]
+        print(f"\nL1 and L2 delivered exactly the same sequence: {same_order}")
+        skips = am.coordinator_of("ring-2").skip_statistics()
+        print(f"Skip instances proposed by ring-2's coordinator (rate leveling): {skips['ring-2']}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ asynchronously, clients updating keys continuously.  Twenty seconds into the
 run one replica is terminated; replicas keep checkpointing, the acceptors trim
 their logs, and when the failed replica restarts it installs the most recent
 checkpoint from a peer and replays the remaining instances from the acceptors.
+Built through the :class:`repro.api.AtomicMulticast` facade, with the failure
+schedule armed via its chaos hook.
 
 Run with::
 
@@ -14,12 +16,10 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import AtomicMulticast
 from repro.config import MultiRingConfig, RecoveryConfig
-from repro.services.mrpstore import MRPStore
-from repro.sim.disk import StorageMode
-from repro.sim.failure import FailureInjector, FailureSchedule
-from repro.sim.world import World
-from repro.smr.client import ClosedLoopClient
+from repro.runtime.interfaces import StorageMode
+from repro.sim.failure import FailureSchedule
 from repro.workloads.simple import UpdateWorkload
 
 CRASH_AT = 20.0
@@ -28,54 +28,51 @@ END = 90.0
 
 
 def main() -> None:
-    world = World(seed=3)
-    store = MRPStore(
-        world,
-        partitions=1,
-        replicas_per_partition=3,
-        acceptors_per_partition=3,
-        use_global_ring=False,
-        storage_mode=StorageMode.ASYNC_SSD,
-        config=MultiRingConfig.datacenter(),
-        recovery_config=RecoveryConfig(checkpoint_interval=10.0, trim_interval=20.0,
-                                       max_replay_instances=500),
-        enable_recovery=True,
-        key_space=1000,
-    )
-    store.load(1000, value_size=1024)
+    with AtomicMulticast(seed=3, config=MultiRingConfig.datacenter()) as am:
+        store = am.mrpstore(
+            partitions=1,
+            replicas_per_partition=3,
+            acceptors_per_partition=3,
+            use_global_ring=False,
+            storage_mode=StorageMode.ASYNC_SSD,
+            recovery_config=RecoveryConfig(checkpoint_interval=10.0, trim_interval=20.0,
+                                           max_replay_instances=500),
+            enable_recovery=True,
+            key_space=1000,
+        )
+        store.load(1000, value_size=1024)
 
-    workload = UpdateWorkload(store, list(range(1000)), value_size=1024, series="updates")
-    client = ClosedLoopClient(
-        world, "client", workload, store.frontends_for_client(0), threads=8, series="updates"
-    )
+        workload = UpdateWorkload(store, list(range(1000)), value_size=1024, series="updates")
+        client = am.client(
+            "client", workload, store.frontends_for_client(0), threads=8, series="updates"
+        )
 
-    victim = store.replicas_of("p0")[-1]
-    schedule = FailureSchedule().crash_and_recover(victim.name, CRASH_AT, RECOVER_AT)
-    FailureInjector(world, schedule).arm()
+        victim = store.replicas_of("p0")[-1]
+        am.inject_failures(FailureSchedule().crash_and_recover(victim.name, CRASH_AT, RECOVER_AT))
 
-    world.run(until=END)
-    # Quiesce before comparing replica states: stop the client and let the
-    # in-flight commands drain, otherwise the comparison races live traffic
-    # (replicas can transiently differ by a few not-yet-merged instances).
-    client.crash()
-    world.run(until=END + 2.0)
+        am.run(until=END)
+        # Quiesce before comparing replica states: stop the client and let the
+        # in-flight commands drain, otherwise the comparison races live traffic
+        # (replicas can transiently differ by a few not-yet-merged instances).
+        client.crash()
+        am.run(until=END + 2.0)
 
-    monitor = world.monitor
-    survivor = store.replicas_of("p0")[0]
-    print(f"Victim replica:                        {victim.name}")
-    print(f"Checkpoints written (all replicas):    {monitor.counter('recovery/checkpoints_durable')}")
-    trimmed = sum(monitor.counter(n) for n in monitor.counters() if n.startswith("trim/"))
-    print(f"Acceptor log records trimmed:          {trimmed}")
-    print(f"Remote state transfers during recovery:{monitor.counter('recovery/state_transfers'):2d}")
-    print(f"Recoveries completed:                  {monitor.counter('recovery/completed')}")
-    print()
-    print("Throughput (ops/s):")
-    print(f"   before the crash      {monitor.throughput_ops('updates', start=5.0, end=CRASH_AT):8.1f}")
-    print(f"   while replica down    {monitor.throughput_ops('updates', start=CRASH_AT, end=RECOVER_AT):8.1f}")
-    print(f"   after recovery        {monitor.throughput_ops('updates', start=RECOVER_AT + 5, end=END):8.1f}")
-    print()
-    same = victim.state_machine._entries == survivor.state_machine._entries
-    print(f"Recovered replica state matches an operational replica: {same}")
+        monitor = am.monitor
+        survivor = store.replicas_of("p0")[0]
+        print(f"Victim replica:                        {victim.name}")
+        print(f"Checkpoints written (all replicas):    {monitor.counter('recovery/checkpoints_durable')}")
+        trimmed = sum(monitor.counter(n) for n in monitor.counters() if n.startswith("trim/"))
+        print(f"Acceptor log records trimmed:          {trimmed}")
+        print(f"Remote state transfers during recovery:{monitor.counter('recovery/state_transfers'):2d}")
+        print(f"Recoveries completed:                  {monitor.counter('recovery/completed')}")
+        print()
+        print("Throughput (ops/s):")
+        print(f"   before the crash      {monitor.throughput_ops('updates', start=5.0, end=CRASH_AT):8.1f}")
+        print(f"   while replica down    {monitor.throughput_ops('updates', start=CRASH_AT, end=RECOVER_AT):8.1f}")
+        print(f"   after recovery        {monitor.throughput_ops('updates', start=RECOVER_AT + 5, end=END):8.1f}")
+        print()
+        same = victim.state_machine._entries == survivor.state_machine._entries
+        print(f"Recovered replica state matches an operational replica: {same}")
 
 
 if __name__ == "__main__":

@@ -11,17 +11,20 @@ from setuptools import find_packages, setup
 
 setup(
     name="mrp-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Building global and scalable systems with atomic "
-        "multicast' (Middleware 2014) on a deterministic simulator"
+        "multicast' (Middleware 2014): deterministic simulator + live asyncio/TCP runtime"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # The slotted-dataclass fast paths and the CI matrix (3.11/3.12) already
+    # assume modern CPython; 3.11 is the tested floor.
+    python_requires=">=3.11",
     entry_points={
         "console_scripts": [
             "repro-bench=repro.bench.__main__:main",
+            "repro-live=repro.live.__main__:main",
         ]
     },
 )

@@ -1,8 +1,14 @@
 """Reproduction of *Building global and scalable systems with Atomic Multicast*.
 
-The library implements the paper's full stack on a deterministic
-discrete-event simulator:
+The library implements the paper's full stack behind a runtime abstraction
+layer (:mod:`repro.runtime`) with two backends -- the deterministic
+discrete-event simulator and a live asyncio/TCP runtime:
 
+* :mod:`repro.api` -- the public entry point: backend-agnostic deployments
+  (:class:`~repro.api.AtomicMulticast`);
+* :mod:`repro.runtime` -- the runtime interfaces (Clock, Transport,
+  StableStore, Runtime), the actor base class, the wire codec and the live
+  TCP backend;
 * :mod:`repro.sim` -- the simulation substrate (network, disks, CPUs, failures);
 * :mod:`repro.paxos`, :mod:`repro.ringpaxos` -- the consensus substrate and
   Ring Paxos atomic broadcast;
@@ -14,20 +20,23 @@ discrete-event simulator:
 * :mod:`repro.services` -- MRP-Store (key-value store) and dLog (shared log);
 * :mod:`repro.baselines` -- the Cassandra/MySQL/Bookkeeper-like comparators;
 * :mod:`repro.workloads` -- YCSB and the paper's other load generators;
-* :mod:`repro.bench` -- the harness regenerating every figure of Section 8.
+* :mod:`repro.bench` -- the harness regenerating every figure of Section 8;
+* :mod:`repro.live` -- the launcher running deployments over real TCP.
 """
 
+from repro.api import AtomicMulticast
 from repro.config import BatchingConfig, MultiRingConfig, RecoveryConfig, RingConfig
 from repro.errors import ReproError
 from repro.multiring import Deployment, MultiRingNode, RingSpec
+from repro.runtime import StorageMode
 from repro.sim import World
-from repro.sim.disk import StorageMode
 from repro.types import Value
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "AtomicMulticast",
     "World",
     "StorageMode",
     "Value",

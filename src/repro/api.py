@@ -1,0 +1,465 @@
+"""Public entry point: backend-agnostic atomic multicast deployments.
+
+:class:`AtomicMulticast` is the redesigned front door to the library.  It is
+a context-managed deployment builder that runs the same protocol stack on
+either backend:
+
+* ``backend="sim"`` -- the deterministic simulator (default): build rings
+  and services, drive virtual time with :meth:`AtomicMulticast.run` /
+  :meth:`~AtomicMulticast.run_for`, read metrics from the monitor;
+* ``backend="live"`` -- real execution: every node an asyncio task with its
+  own TCP server on localhost, every protocol message crossing a socket
+  through the versioned codec.  The facade runs the event loop on a
+  background thread so the synchronous API below works unchanged.
+
+Core surface::
+
+    with AtomicMulticast(seed=1) as am:                  # sim backend
+        am.ring("ring-1", acceptors=["a1", "a2", "a3"], learners=["L1", "L2"])
+        future = am.submit("ring-1", "hello", size_bytes=1024)
+        am.run_for(1.0)
+        delivery = future.result(timeout=0)              # acked: delivered
+        for d in am.deliveries("ring-1"):
+            ...
+
+    with AtomicMulticast(backend="live") as am:          # same code, real TCP
+        ...
+
+``submit(group, payload)`` returns a :class:`concurrent.futures.Future`
+resolved with the :class:`~repro.multiring.merge.Delivery` once the value is
+delivered at the group's witness learner (the ack the "zero lost acked
+writes" invariant counts).  ``deliveries(group)`` returns a stream that can
+be iterated synchronously or with ``async for``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.config import MultiRingConfig, RingConfig
+from repro.errors import ConfigurationError, MulticastError
+from repro.runtime.interfaces import StorageMode
+from repro.types import GroupId, Value
+
+__all__ = ["AtomicMulticast", "DeliveryStream"]
+
+_BACKENDS = ("sim", "live")
+
+
+class DeliveryStream:
+    """Deliveries of one group at its witness learner, oldest first.
+
+    Iterable synchronously (yields what has been delivered so far; on the
+    live backend it keeps blocking up to ``idle_timeout`` for more) and
+    asynchronously (``async for`` -- the sim backend advances the simulation
+    on demand, the live backend awaits real deliveries).
+    """
+
+    def __init__(self, api: "AtomicMulticast", group: GroupId) -> None:
+        self._api = api
+        self._group = group
+        self.items: List[Any] = []
+        self._closed = False
+        #: Live backend: how long a blocking iteration waits for the next
+        #: delivery before concluding the stream is idle.
+        self.idle_timeout = 1.0
+
+    # -- producer side (called on the backend's execution context) -------
+    def _push(self, delivery: Any) -> None:
+        self.items.append(delivery)
+
+    def _close(self) -> None:
+        self._closed = True
+
+    # -- sync iteration ----------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        index = 0
+        while True:
+            while index < len(self.items):
+                yield self.items[index]
+                index += 1
+            if self._api._backend == "sim" or self._closed:
+                return
+            deadline = time.monotonic() + self.idle_timeout
+            while len(self.items) <= index and not self._closed:
+                if time.monotonic() > deadline:
+                    return
+                time.sleep(0.005)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- async iteration -----------------------------------------------------
+    async def __aiter__(self):
+        index = 0
+        while True:
+            while index < len(self.items):
+                yield self.items[index]
+                index += 1
+            if self._closed:
+                return
+            if self._api._backend == "sim":
+                # Advance the simulation until the next delivery materializes.
+                self._api.world.start()
+                if not self._api.world.sim.step():
+                    return
+            else:
+                await asyncio.sleep(0.005)
+
+
+class AtomicMulticast:
+    """Context-managed, backend-agnostic atomic multicast deployment."""
+
+    def __init__(
+        self,
+        backend: str = "sim",
+        *,
+        seed: int = 0,
+        config: Optional[MultiRingConfig] = None,
+        topology: Any = None,
+        network_config: Any = None,
+        default_site: Optional[str] = None,
+        trace: bool = False,
+        host: str = "127.0.0.1",
+        storage_dir: Optional[str] = None,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ConfigurationError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        self._backend = backend
+        self.seed = seed
+        self.config = config or MultiRingConfig.datacenter()
+        self._streams: Dict[GroupId, DeliveryStream] = {}
+        self._pending: Dict[int, concurrent.futures.Future] = {}
+        self._witness_hooked: Dict[GroupId, str] = {}
+        self._proposer_rr: Dict[GroupId, int] = {}
+        self._entered = False
+
+        if backend == "sim":
+            from repro.multiring.deployment import Deployment
+            from repro.sim.world import World
+
+            self.world = World(
+                topology=topology,
+                seed=seed,
+                network_config=network_config,
+                trace_enabled=trace,
+                default_site=default_site,
+            )
+            self.deployment = Deployment(self.world, self.config)
+        else:
+            if topology is not None or network_config is not None:
+                raise ConfigurationError(
+                    "topology / network_config model simulated networks; "
+                    "the live backend uses the real one"
+                )
+            self.world = None
+            self.deployment = None
+            self._host = host
+            self._storage_dir = storage_dir
+            self._live_specs: List[Any] = []
+            self._live = None
+            self._loop: Optional[asyncio.AbstractEventLoop] = None
+            self._thread: Optional[threading.Thread] = None
+            self._ready = threading.Event()
+            self._stop_event: Optional[asyncio.Event] = None
+            self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # deployment building
+    # ------------------------------------------------------------------
+    def ring(
+        self,
+        group: GroupId,
+        members: Optional[Sequence[str]] = None,
+        *,
+        acceptors: Optional[Sequence[str]] = None,
+        proposers: Optional[Sequence[str]] = None,
+        learners: Optional[Sequence[str]] = None,
+        coordinator: Optional[str] = None,
+        storage: StorageMode = StorageMode.MEMORY,
+        sites: Optional[Dict[str, str]] = None,
+        ring_config: Optional[RingConfig] = None,
+    ) -> None:
+        """Declare one ring (one multicast group).
+
+        ``members`` defaults to ``acceptors + learners`` in that ring order;
+        ``proposers`` defaults to the acceptors.  On the live backend rings
+        must be declared before entering the context (the node set fixes the
+        TCP topology).
+        """
+        if members is None:
+            if acceptors is None:
+                raise ConfigurationError("a ring needs members or acceptors")
+            members = list(acceptors) + [
+                name for name in (learners or []) if name not in set(acceptors)
+            ]
+        if proposers is None and acceptors is not None:
+            proposers = list(acceptors)
+        if self._backend == "sim":
+            from repro.multiring.deployment import RingSpec
+
+            self.deployment.add_ring(
+                RingSpec(
+                    group=group,
+                    members=list(members),
+                    acceptors=list(acceptors) if acceptors is not None else None,
+                    proposers=list(proposers) if proposers is not None else None,
+                    learners=list(learners) if learners is not None else None,
+                    coordinator=coordinator,
+                    storage_mode=storage,
+                ),
+                sites=sites,
+                ring_config=ring_config,
+            )
+        else:
+            if self._entered:
+                raise ConfigurationError(
+                    "live rings must be declared before entering the context"
+                )
+            from repro.runtime.live import LiveRingSpec
+
+            self._live_specs.append(
+                LiveRingSpec(
+                    group=group,
+                    members=list(members),
+                    acceptors=list(acceptors) if acceptors is not None else None,
+                    proposers=list(proposers) if proposers is not None else None,
+                    learners=list(learners) if learners is not None else None,
+                    coordinator=coordinator,
+                    storage_mode=storage,
+                )
+            )
+
+    # -- service builders (simulator backend) ----------------------------
+    def _require_sim(self, what: str):
+        if self._backend != "sim":
+            raise ConfigurationError(f"{what} is only available on the sim backend (for now)")
+
+    def dlog(self, **kwargs):
+        """Build a dLog service deployment (sim backend)."""
+        self._require_sim("dlog()")
+        from repro.services.dlog import DLog
+
+        return DLog(self.world, config=kwargs.pop("config", self.config), **kwargs)
+
+    def mrpstore(self, **kwargs):
+        """Build an MRP-Store deployment (sim backend)."""
+        self._require_sim("mrpstore()")
+        from repro.services.mrpstore import MRPStore
+
+        return MRPStore(self.world, config=kwargs.pop("config", self.config), **kwargs)
+
+    def client(self, name: str, workload, frontends, **kwargs):
+        """Attach a closed-loop client machine (sim backend)."""
+        self._require_sim("client()")
+        from repro.smr.client import ClosedLoopClient
+
+        return ClosedLoopClient(self.world, name, workload, frontends, **kwargs)
+
+    def inject_failures(self, schedule):
+        """Arm a failure schedule (sim backend chaos hook)."""
+        self._require_sim("inject_failures()")
+        from repro.sim.failure import FailureInjector
+
+        injector = FailureInjector(self.world, schedule)
+        injector.arm()
+        return injector
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AtomicMulticast":
+        self._entered = True
+        if self._backend == "sim":
+            return self
+        if not self._live_specs:
+            raise ConfigurationError("declare at least one ring before entering live mode")
+        self._thread = threading.Thread(
+            target=self._live_thread_main, name="repro-live", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._live is None:
+            raise ConfigurationError("live backend failed to start within 30s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._backend == "sim":
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        for stream in self._streams.values():
+            stream._close()
+
+    def _live_thread_main(self) -> None:
+        try:
+            asyncio.run(self._live_main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _live_main(self) -> None:
+        from repro.runtime.live import LiveDeployment
+
+        deployment = LiveDeployment(
+            self._live_specs,
+            config=self.config,
+            host=self._host,
+            seed=self.seed,
+            storage_dir=self._storage_dir,
+            record_deliveries=False,
+        )
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        async with deployment:
+            self._live = deployment
+            # Hook every ring's witness learner while on the loop thread.
+            for spec in self._live_specs:
+                self._hook_witness(spec.group)
+            self._ready.set()
+            await self._stop_event.wait()
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def _ring_descriptor(self, group: GroupId):
+        if self._backend == "sim":
+            return self.deployment.ring(group)
+        if self._live is None:
+            raise ConfigurationError("enter the live context before submitting traffic")
+        for live in self._live.nodes.values():
+            if live.registry.has_ring(group):
+                return live.registry.ring(group)
+        raise MulticastError(f"unknown group {group!r}")
+
+    def _witness_of(self, group: GroupId) -> str:
+        descriptor = self._ring_descriptor(group)
+        if not descriptor.learners:
+            raise MulticastError(f"group {group!r} has no learners to ack deliveries")
+        return descriptor.learners[0]
+
+    def _node(self, name: str):
+        if self._backend == "sim":
+            return self.deployment.node(name)
+        return self._live.node(name).node
+
+    def node(self, name: str):
+        """The protocol node object (a :class:`MultiRingNode`) named ``name``."""
+        if self._backend == "live" and self._live is None:
+            raise ConfigurationError("enter the context before accessing live nodes")
+        return self._node(name)
+
+    def coordinator_of(self, group: GroupId):
+        """The node currently coordinating ``group``'s ring."""
+        return self.node(self._ring_descriptor(group).coordinator)
+
+    def _hook_witness(self, group: GroupId) -> None:
+        if group in self._witness_hooked:
+            return
+        witness = self._witness_of(group)
+        if self._backend == "sim":
+            node = self.deployment.node(witness)
+        else:
+            node = self._live.node(witness).node
+        stream = self._streams.setdefault(group, DeliveryStream(self, group))
+        node.on_deliver(lambda d: self._on_witness_delivery(stream, d), group=group)
+        self._witness_hooked[group] = witness
+
+    def _on_witness_delivery(self, stream: DeliveryStream, delivery) -> None:
+        stream._push(delivery)
+        future = self._pending.pop(delivery.value.uid, None)
+        if future is not None and not future.done():
+            future.set_result(delivery)
+
+    def submit(
+        self, group: GroupId, payload: Any, size_bytes: Optional[int] = None
+    ) -> "concurrent.futures.Future":
+        """Atomically multicast ``payload`` to ``group``.
+
+        Returns a future resolved with the :class:`Delivery` once the value
+        is delivered at the group's witness learner.  On the sim backend the
+        future resolves while :meth:`run` advances virtual time; on the live
+        backend it resolves from the node's event loop and can be awaited
+        with ``future.result(timeout=...)``.
+        """
+        if size_bytes is None:
+            from repro.net.message import estimate_size
+
+            size_bytes = estimate_size(payload)
+        self._hook_witness(group)
+        descriptor = self._ring_descriptor(group)
+        proposers = descriptor.proposers or descriptor.acceptors
+        index = self._proposer_rr.get(group, 0)
+        self._proposer_rr[group] = index + 1
+        proposer = proposers[index % len(proposers)]
+
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        if self._backend == "sim":
+            node = self.deployment.node(proposer)
+            value = node.multicast(group, payload, size_bytes)
+            self._pending[value.uid] = future
+        else:
+            live = self._live.node(proposer)
+            value = Value.create(
+                payload, size_bytes, proposer=proposer, created_at=live.runtime.now
+            )
+            self._pending[value.uid] = future
+            self._loop.call_soon_threadsafe(
+                live.runtime.sim.post, live.node.propose_value, group, value
+            )
+        return future
+
+    def deliveries(self, group: GroupId) -> DeliveryStream:
+        """The group's delivery stream at its witness learner (see class doc)."""
+        self._hook_witness(group)
+        return self._streams[group]
+
+    # ------------------------------------------------------------------
+    # execution / time
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the deployment: virtual time (sim) or wall-clock sleep (live)."""
+        if self._backend == "sim":
+            return self.world.run(until=until)
+        if until is None:
+            raise ConfigurationError("live run() needs an explicit horizon; use run_for")
+        remaining = until - self.now
+        if remaining > 0:
+            time.sleep(remaining)
+        return self.now
+
+    def run_for(self, duration: float) -> float:
+        if self._backend == "sim":
+            return self.world.run_for(duration)
+        time.sleep(max(0.0, duration))
+        return self.now
+
+    @property
+    def now(self) -> float:
+        if self._backend == "sim":
+            return self.world.now
+        if self._live is None:
+            return 0.0
+        first = next(iter(self._live.nodes.values()))
+        return first.runtime.now
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def monitor(self):
+        """The metric monitor (sim backend)."""
+        self._require_sim("monitor")
+        return self.world.monitor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicMulticast(backend={self._backend!r})"

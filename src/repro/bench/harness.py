@@ -19,6 +19,7 @@ from repro.bench.figure5 import run_figure5
 from repro.bench.figure6 import run_figure6
 from repro.bench.figure7 import run_figure7
 from repro.bench.figure8 import run_figure8
+from repro.bench.live import run_live_bench
 from repro.bench.perf import run_perf
 from repro.bench.reconfig import run_reconfig
 
@@ -184,6 +185,16 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 paper={"duration": 30.0, "settle": 5.0},
             ),
         )
+    if name == "live":
+        return run_live_bench(
+            **_params(
+                scale,
+                # Wall-clock localhost TCP runs; scale bounds the append count.
+                smoke={"nodes": 3, "values": 300, "window": 32},
+                quick={"nodes": 3, "values": 1000, "window": 32},
+                paper={"nodes": 5, "values": 5000, "window": 64},
+            )
+        )
     if name == "perf":
         return run_perf(
             **_params(
@@ -220,4 +231,5 @@ EXPERIMENTS = (
     "batching",
     "chaos",
     "perf",
+    "live",
 )

@@ -1,0 +1,37 @@
+"""The ``live`` experiment: wall-clock throughput over real localhost TCP.
+
+Unlike every other experiment, this one does not run on the simulator: it
+boots the live backend (:mod:`repro.runtime.live`) -- N nodes, each an
+asyncio task set with its own TCP server -- and drives a closed loop of
+appends through a single-ring dLog.  The metrics are *wall-clock* numbers
+and therefore depend on the machine; the run is still gated on the safety
+invariants (zero lost acked writes, identical delivery sequences), which
+must hold on any machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.live import run_live
+
+__all__ = ["run_live_bench"]
+
+
+def run_live_bench(
+    nodes: int = 3,
+    values: int = 300,
+    value_size: int = 1024,
+    window: int = 32,
+    timeout: float = 60.0,
+) -> Dict:
+    """Run the live dLog benchmark and return the harness result dictionary."""
+    result = run_live(
+        nodes=nodes,
+        values=values,
+        value_size=value_size,
+        window=window,
+        timeout=timeout,
+    )
+    result["experiment"] = "live"
+    return result

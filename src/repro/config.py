@@ -14,8 +14,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
-from repro.sim.cpu import CPUConfig
-from repro.sim.disk import StorageMode
+from repro.runtime.cpu import CPUConfig
+from repro.runtime.interfaces import StorageMode
 
 __all__ = ["RingConfig", "MultiRingConfig", "RecoveryConfig", "BatchingConfig"]
 

@@ -33,8 +33,8 @@ from repro.reconfig.commands import (
     SpliceRing,
     next_migration_id,
 )
-from repro.sim.process import Process
-from repro.sim.world import World
+from repro.runtime.actor import Process
+from repro.runtime.interfaces import Runtime
 from repro.types import GroupId
 
 __all__ = ["ReconfigController"]
@@ -45,7 +45,7 @@ class ReconfigController(Process):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         deployment,
         name: str = "reconfig-controller",
         site: Optional[str] = None,

@@ -25,9 +25,8 @@ from repro.config import MultiRingConfig, RingConfig
 from repro.coordination.registry import Registry, RingDescriptor
 from repro.errors import ConfigurationError, MulticastError
 from repro.multiring.node import MultiRingNode
-from repro.sim.cpu import CPUConfig
-from repro.sim.disk import Disk, StorageMode, disk_for_mode
-from repro.sim.world import World
+from repro.runtime.cpu import CPUConfig
+from repro.runtime.interfaces import Runtime, StableStore, StorageMode
 from repro.types import GroupId, Value
 
 __all__ = ["RingSpec", "Deployment"]
@@ -70,7 +69,7 @@ class Deployment:
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         config: Optional[MultiRingConfig] = None,
         registry: Optional[Registry] = None,
     ) -> None:
@@ -81,7 +80,7 @@ class Deployment:
         self.rings: Dict[GroupId, RingDescriptor] = {}
         self.ring_specs: Dict[GroupId, RingSpec] = {}
         self._proposer_rr: Dict[GroupId, "itertools.cycle"] = {}
-        self._ring_disks: Dict[GroupId, Dict[str, Disk]] = {}
+        self._ring_disks: Dict[GroupId, Dict[str, StableStore]] = {}
 
     # ------------------------------------------------------------------
     # nodes
@@ -147,14 +146,14 @@ class Deployment:
         )
         config = ring_config or self.config.ring.with_storage(spec.storage_mode)
 
-        shared_disk = disk_for_mode(self.world.sim, spec.storage_mode) if spec.share_disk else None
-        disks: Dict[str, Disk] = {}
+        shared_disk = self.world.new_store(spec.storage_mode) if spec.share_disk else None
+        disks: Dict[str, StableStore] = {}
         for member in spec.members:
             site = sites.get(member) if sites else None
             node = self.add_node(member, site=site)
             disk = None
             if member in acceptors:
-                disk = shared_disk if spec.share_disk else disk_for_mode(self.world.sim, spec.storage_mode)
+                disk = shared_disk if spec.share_disk else self.world.new_store(spec.storage_mode)
                 if disk is not None:
                     disks[member] = disk
             node.join_ring(
@@ -178,7 +177,7 @@ class Deployment:
     def groups(self) -> List[GroupId]:
         return list(self.rings)
 
-    def ring_disk(self, group: GroupId, member: str) -> Optional[Disk]:
+    def ring_disk(self, group: GroupId, member: str) -> Optional[StableStore]:
         return self._ring_disks.get(group, {}).get(member)
 
     # ------------------------------------------------------------------

@@ -26,9 +26,8 @@ from repro.multiring.merge import Delivery, DeterministicMerge
 from repro.reconfig.commands import ControlCommand, ProposeControl, SpliceRing
 from repro.ringpaxos.node import RingHost
 from repro.ringpaxos.role import RingRole
-from repro.sim.cpu import CPUConfig
-from repro.sim.disk import Disk
-from repro.sim.world import World
+from repro.runtime.cpu import CPUConfig
+from repro.runtime.interfaces import Runtime, StableStore
 from repro.types import GroupId, InstanceId, Value
 
 __all__ = ["MultiRingNode"]
@@ -41,7 +40,7 @@ class MultiRingNode(RingHost):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         registry: Registry,
         name: str,
         config: Optional[MultiRingConfig] = None,
@@ -82,7 +81,7 @@ class MultiRingNode(RingHost):
         self,
         group: GroupId,
         ring_config: Optional[RingConfig] = None,
-        disk: Optional[Disk] = None,
+        disk: Optional[StableStore] = None,
         defer_subscribe: bool = False,
     ) -> RingRole:
         """Take up this node's roles in ``group``'s ring.

@@ -2,7 +2,7 @@
 
 Ring Paxos optimizes the communication pattern of Paxos but not its decision
 rule; this module implements the textbook message-passing protocol (Phase 1A/
-1B/2A/2B, majority quorums) as plain :class:`~repro.sim.process.Process`
+1B/2A/2B, majority quorums) as plain :class:`~repro.runtime.actor.Process`
 actors.  It serves three purposes:
 
 * executable documentation of the consensus core the ring protocol relies on,
@@ -20,8 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 from repro.errors import ConsensusError
 from repro.net.message import ProtocolMessage
 from repro.paxos.types import Ballot, InstanceRecord
-from repro.sim.process import Process
-from repro.sim.world import World
+from repro.runtime.actor import Process
+from repro.runtime.interfaces import Runtime
 from repro.types import Value
 
 __all__ = [
@@ -77,7 +77,7 @@ class Decided(ProtocolMessage):
 class PaxosAcceptor(Process):
     """A single-decree Paxos acceptor."""
 
-    def __init__(self, world: World, name: str, site: Optional[str] = None) -> None:
+    def __init__(self, world: Runtime, name: str, site: Optional[str] = None) -> None:
         super().__init__(world, name, site)
         self.state = InstanceRecord(instance=0)
 
@@ -112,7 +112,7 @@ class PaxosLearner(Process):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         name: str,
         acceptor_count: int,
         site: Optional[str] = None,
@@ -150,7 +150,7 @@ class PaxosProposer(Process):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         name: str,
         acceptors: Sequence[str],
         learners: Sequence[str],
@@ -229,7 +229,7 @@ class PaxosProposer(Process):
 
 
 def run_single_decree(
-    world: World,
+    world: Runtime,
     proposer_values: Dict[str, Value],
     acceptor_names: Sequence[str],
     learner_names: Sequence[str],

@@ -25,8 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.paxos.types import Ballot, InstanceRecord
-from repro.sim.disk import Disk, StorageMode, disk_for_mode
-from repro.sim.engine import Simulator
+from repro.runtime.interfaces import Clock, StableStore, StorageMode
 from heapq import heappush
 
 from repro.types import InstanceId, Value
@@ -53,13 +52,19 @@ class AcceptorStorage:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         mode: StorageMode = StorageMode.MEMORY,
-        disk: Optional[Disk] = None,
+        disk: Optional[StableStore] = None,
     ) -> None:
         self.sim = sim
         self.mode = mode
         if disk is None and mode is not StorageMode.MEMORY:
+            # Convenience fallback for direct construction (tests, tools):
+            # deployments resolve the store through ``Runtime.new_store``
+            # before reaching this point.  Imported late so the paxos layer
+            # has no static dependency on the simulator backend.
+            from repro.sim.disk import disk_for_mode
+
             disk = disk_for_mode(sim, mode)
         self.disk = disk
         self._records: Dict[InstanceId, InstanceRecord] = {}

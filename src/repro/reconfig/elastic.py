@@ -24,7 +24,7 @@ from repro.multiring.deployment import RingSpec
 from repro.reconfig.migration import MigrationAgent
 from repro.services.mrpstore.service import SERVICE_NAME, MRPStore
 from repro.services.mrpstore.state import MRPStoreStateMachine
-from repro.sim.disk import StorageMode, disk_for_mode
+from repro.runtime.interfaces import StorageMode
 from repro.smr.frontend import ProposerFrontend
 from repro.smr.replica import Replica
 from repro.types import GroupId
@@ -86,7 +86,7 @@ def scale_out(
             deployment.nodes[name] = replica
             MigrationAgent(replica, service=SERVICE_NAME, awaiting_install=True)
             if recovery_enabled:
-                disk = disk_for_mode(world.sim, StorageMode.SYNC_SSD)
+                disk = world.new_store(StorageMode.SYNC_SSD)
                 replica.enable_recovery(store.recovery_config, checkpoint_disk=disk)
             replicas.append(replica)
             ring_replica_names.append(name)

@@ -20,8 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import RecoveryError
-from repro.sim.disk import Disk
-from repro.sim.engine import Simulator
+from repro.runtime.interfaces import Clock, StableStore
 from repro.types import GroupId, InstanceId
 
 __all__ = ["Checkpoint", "CheckpointStore", "cursor_leq", "cursor_max", "cursor_is_monotonic"]
@@ -106,7 +105,7 @@ class CheckpointStore:
     which is how checkpointing pressure shows up in Figure 8.
     """
 
-    def __init__(self, sim: Simulator, disk: Optional[Disk] = None, synchronous: bool = True) -> None:
+    def __init__(self, sim: Clock, disk: Optional[StableStore] = None, synchronous: bool = True) -> None:
         self.sim = sim
         self.disk = disk
         self.synchronous = synchronous

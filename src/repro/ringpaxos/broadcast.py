@@ -16,9 +16,8 @@ from repro.config import RingConfig
 from repro.coordination.registry import Registry, RingDescriptor
 from repro.errors import ConfigurationError
 from repro.ringpaxos.node import RingHost
-from repro.sim.cpu import CPUConfig
-from repro.sim.disk import Disk, StorageMode, disk_for_mode
-from repro.sim.world import World
+from repro.runtime.cpu import CPUConfig
+from repro.runtime.interfaces import Runtime, StableStore, StorageMode
 from repro.types import GroupId, InstanceId, Value, unpack_value
 
 __all__ = ["RingPaxosBroadcast", "build_broadcast_ring"]
@@ -31,7 +30,7 @@ class RingPaxosBroadcast:
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         group: GroupId,
         hosts: Dict[str, RingHost],
         descriptor: RingDescriptor,
@@ -81,7 +80,7 @@ class RingPaxosBroadcast:
 
 
 def build_broadcast_ring(
-    world: World,
+    world: Runtime,
     members: Sequence[str],
     registry: Optional[Registry] = None,
     group: GroupId = "broadcast",
@@ -117,15 +116,15 @@ def build_broadcast_ring(
     if config.storage_mode is not storage_mode and ring_config is None:
         config = config.with_storage(storage_mode)
 
-    shared_disk: Optional[Disk] = None
+    shared_disk: Optional[StableStore] = None
     if share_disk:
-        shared_disk = disk_for_mode(world.sim, config.storage_mode)
+        shared_disk = world.new_store(config.storage_mode)
 
     hosts: Dict[str, RingHost] = {}
     for name in members:
         site = sites.get(name) if sites else None
         host = RingHost(world, registry, name, site=site, cpu_config=cpu_config)
-        disk = shared_disk if share_disk else disk_for_mode(world.sim, config.storage_mode)
+        disk = shared_disk if share_disk else world.new_store(config.storage_mode)
         host.join_ring(group, ring_config=config, disk=disk if name in acceptors else None)
         hosts[name] = host
     for learner in learners:

@@ -25,10 +25,9 @@ from repro.ringpaxos.messages import (
     RetransmitRequest,
 )
 from repro.ringpaxos.role import REPAIR_TOKEN, RingRole
-from repro.sim.cpu import CPU, CPUConfig
-from repro.sim.disk import Disk
-from repro.sim.process import Process
-from repro.sim.world import World
+from repro.runtime.actor import Process
+from repro.runtime.cpu import CPU, CPUConfig
+from repro.runtime.interfaces import Runtime, StableStore
 from repro.types import GroupId, InstanceId, Value
 
 __all__ = ["RingHost"]
@@ -46,7 +45,7 @@ class RingHost(Process):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         registry: Registry,
         name: str,
         site: Optional[str] = None,
@@ -70,7 +69,7 @@ class RingHost(Process):
         self,
         group: GroupId,
         ring_config: Optional[RingConfig] = None,
-        disk: Optional[Disk] = None,
+        disk: Optional[StableStore] = None,
     ) -> RingRole:
         """Take up this process's roles in the ring registered for ``group``."""
         if group in self.roles:

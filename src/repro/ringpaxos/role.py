@@ -37,7 +37,7 @@ from repro.ringpaxos.messages import (
     RetransmitReply,
     RetransmitRequest,
 )
-from repro.sim.disk import Disk, StorageMode
+from repro.runtime.interfaces import StableStore, StorageMode
 from repro.types import GroupId, InstanceId, Value, skip_value
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -62,7 +62,7 @@ class RingRole:
         host: "RingHost",
         descriptor: "RingDescriptor",
         config: Optional[RingConfig] = None,
-        disk: Optional[Disk] = None,
+        disk: Optional[StableStore] = None,
     ) -> None:
         self.host = host
         self.descriptor = descriptor
@@ -88,6 +88,11 @@ class RingRole:
 
         self.storage: Optional[AcceptorStorage] = None
         if self.is_acceptor:
+            if disk is None:
+                # Resolve the stable store through the runtime backend: the
+                # simulator builds a timing-model disk, the live backend a
+                # real append log (or nothing for in-memory rings).
+                disk = host.world.new_store(self.config.storage_mode)
             self.storage = AcceptorStorage(
                 host.world.sim, mode=self.config.storage_mode, disk=disk
             )

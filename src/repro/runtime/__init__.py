@@ -1,0 +1,46 @@
+"""Runtime abstraction layer.
+
+The protocol stack (:mod:`repro.paxos`, :mod:`repro.ringpaxos`,
+:mod:`repro.multiring`, :mod:`repro.smr`, :mod:`repro.recovery`,
+:mod:`repro.services`) is written against the narrow interfaces defined here
+-- a :class:`Clock` for time and timers, a :class:`Transport` for FIFO
+messaging, a :class:`StableStore` for durable writes, and a :class:`Runtime`
+facade bundling them with the process registry and failure hooks.
+
+Two backends implement the interfaces:
+
+* :mod:`repro.sim` -- the deterministic discrete-event simulator
+  (:class:`~repro.sim.world.World` *is* a :class:`Runtime`); every benchmark
+  and golden-trace test runs on it, and
+* :mod:`repro.runtime.live` -- real wall-clock execution: each node is an
+  asyncio task, protocol messages travel over length-prefixed localhost TCP
+  encoded by the versioned :mod:`repro.runtime.codec`.
+
+The actor base class (:class:`~repro.runtime.actor.Process`) and the CPU cost
+model (:mod:`repro.runtime.cpu`) live here too: both are backend-agnostic --
+they only ever talk to a :class:`Clock` and a :class:`Transport`.
+"""
+
+from repro.runtime.interfaces import (
+    CancelHandle,
+    Clock,
+    Runtime,
+    StableStore,
+    StorageMode,
+    Transport,
+)
+from repro.runtime.actor import Process, Timer
+from repro.runtime.cpu import CPU, CPUConfig
+
+__all__ = [
+    "CancelHandle",
+    "Clock",
+    "Runtime",
+    "StableStore",
+    "StorageMode",
+    "Transport",
+    "Process",
+    "Timer",
+    "CPU",
+    "CPUConfig",
+]

@@ -1,0 +1,206 @@
+"""The actor model every protocol role is built on.
+
+A :class:`Process` is an event-driven actor attached to a
+:class:`~repro.runtime.interfaces.Runtime` (the simulator's
+:class:`~repro.sim.world.World`, or a live node runtime).  Subclasses override
+
+* :meth:`Process.on_start` -- called once when the process boots,
+* :meth:`Process.on_message` -- called for every delivered message,
+* :meth:`Process.on_crash` / :meth:`Process.on_recover` -- failure hooks.
+
+Processes send messages with :meth:`Process.send` and arm timers with
+:meth:`Process.set_timer` / :meth:`Process.set_periodic_timer`.  Crashing a
+process cancels all of its timers and silently drops messages addressed to it
+until :meth:`Process.recover` is called -- volatile state handling on recovery
+is the subclass's responsibility (that is precisely what Section 5 of the
+paper is about).
+
+The class depends only on the runtime protocols: ``world.sim`` for time and
+timers, ``world.network`` for messaging, ``world.trace`` for logging.  It is
+therefore backend-agnostic and runs unchanged on the simulator and on the
+live asyncio/TCP backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import ProcessCrashedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.interfaces import CancelHandle, Runtime
+
+__all__ = ["Timer", "Process"]
+
+
+class Timer:
+    """A (possibly periodic) timer owned by a process."""
+
+    __slots__ = ("_process", "_interval", "_callback", "_args", "_periodic", "_event", "_active")
+
+    def __init__(
+        self,
+        process: "Process",
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        periodic: bool,
+    ) -> None:
+        self._process = process
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._periodic = periodic
+        self._event: Optional["CancelHandle"] = None
+        self._active = True
+        self._schedule()
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def _schedule(self) -> None:
+        sim = self._process.world.sim
+        self._event = sim.schedule(self._interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self._active or not self._process.alive:
+            return
+        if self._periodic:
+            self._schedule()
+        else:
+            self._active = False
+        self._callback(*self._args)
+
+    def cancel(self) -> None:
+        """Stop the timer.  Idempotent."""
+        self._active = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reset(self) -> None:
+        """Restart the countdown from now."""
+        if self._event is not None:
+            self._event.cancel()
+        self._active = True
+        self._schedule()
+
+
+class Process:
+    """Base class for every protocol process (backend-agnostic actor)."""
+
+    def __init__(self, world: "Runtime", name: str, site: Optional[str] = None) -> None:
+        self.world = world
+        self.name = name
+        self.site = site or world.default_site
+        self.alive = True
+        self._timers: List[Timer] = []
+        self.messages_received = 0
+        self.messages_sent = 0
+        world.register(self, self.site)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the world starts (or when the process is created late)."""
+
+    def on_message(self, sender: str, payload: Any) -> None:
+        """Handle a delivered message.  Subclasses almost always override this."""
+
+    def on_crash(self) -> None:
+        """Called right after the process crashes."""
+
+    def on_recover(self) -> None:
+        """Called right after the process restarts."""
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, dest: str, payload: Any, size_bytes: Optional[int] = None) -> None:
+        """Send ``payload`` to the process named ``dest``.
+
+        ``size_bytes`` drives the transport's cost model; when omitted the
+        payload's ``size_bytes`` attribute is used, falling back to a small
+        constant for control messages.
+        """
+        if not self.alive:
+            raise ProcessCrashedError(f"{self.name} is crashed and cannot send")
+        if size_bytes is None:
+            size_bytes = getattr(payload, "size_bytes", 128)
+        self.messages_sent += 1
+        self.world.network.send(self.name, dest, payload, size_bytes)
+
+    def deliver_message(self, sender: str, payload: Any) -> None:
+        """Entry point used by the transport.  Do not call directly."""
+        if not self.alive:
+            return
+        self.messages_received += 1
+        self.on_message(sender, payload)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Arm a one-shot timer firing ``delay`` seconds from now."""
+        if not self.alive:
+            raise ProcessCrashedError(f"{self.name} is crashed and cannot set timers")
+        timer = Timer(self, delay, callback, args, periodic=False)
+        self._timers.append(timer)
+        self._prune_timers()
+        return timer
+
+    def set_periodic_timer(self, interval: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Arm a periodic timer firing every ``interval`` seconds until cancelled."""
+        if not self.alive:
+            raise ProcessCrashedError(f"{self.name} is crashed and cannot set timers")
+        timer = Timer(self, interval, callback, args, periodic=True)
+        self._timers.append(timer)
+        self._prune_timers()
+        return timer
+
+    def _prune_timers(self) -> None:
+        if len(self._timers) > 256:
+            self._timers = [timer for timer in self._timers if timer.active]
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash the process: drop future messages and cancel all timers."""
+        if not self.alive:
+            return
+        self.alive = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart a crashed process.  Volatile state is *not* restored here."""
+        if self.alive:
+            return
+        self.alive = True
+        self.on_recover()
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current runtime time."""
+        return self.world.sim.now
+
+    def log(self, message: str) -> None:
+        """Record a trace line (no-op unless tracing is enabled on the world)."""
+        self.world.trace.record(self.now, self.name, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "crashed"
+        return f"{type(self).__name__}({self.name!r}, {state})"

@@ -1,0 +1,401 @@
+"""Versioned binary codec for the protocol wire types.
+
+The live backend sends every protocol message over TCP; this module turns
+the slotted wire dataclasses of :mod:`repro.ringpaxos.messages`,
+:mod:`repro.recovery.messages`, :mod:`repro.reconfig.commands`,
+:mod:`repro.smr.command` and the core value types into length-prefixed
+frames and back.
+
+Design:
+
+* **Tagged values.**  Every encoded value starts with a one-byte type tag:
+  primitives (``None``, booleans, 64-bit ints, big ints, doubles, UTF-8
+  strings, bytes), containers (tuple, list, dict, set, frozenset) and
+  registered dataclasses (a two-byte class id followed by the fields in
+  declaration order).  Arbitrary Python objects are rejected -- the wire
+  format is closed over the registered types, which is what makes it
+  versionable.
+* **Byte stability.**  Encoding is a pure function of the value: sets are
+  encoded in sorted order and string-keyed dicts in sorted key order, so the
+  same message always encodes to the same bytes regardless of hash
+  randomization or insertion order.  The property tests assert
+  ``encode(decode(encode(m))) == encode(m)`` for every wire type.
+* **Versioned frames.**  A frame is ``!I`` length prefix + one version byte
+  + body.  Decoders reject frames from a different codec version loudly
+  (``CodecError``) instead of mis-parsing them; bumping ``CODEC_VERSION``
+  is the upgrade path when a wire dataclass changes shape.
+
+The class-id table below is append-only: ids are never reused, and new wire
+types take fresh ids, so two builds sharing a version byte agree on every id.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Tuple, Type
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "WIRE_TYPES",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "decode_frame",
+    "frame_message",
+    "iter_frames",
+]
+
+#: Bump when the encoding of any registered type changes incompatibly.
+CODEC_VERSION = 1
+
+#: Refuse to parse frames beyond this size (corrupt length prefix guard).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class CodecError(ReproError):
+    """Raised for unencodable values, unknown tags and version mismatches."""
+
+
+# ----------------------------------------------------------------------
+# registered wire dataclasses (append-only id table)
+# ----------------------------------------------------------------------
+def _wire_types() -> Dict[int, Type]:
+    # Imported here (not at module top) to keep the runtime layer free of
+    # static protocol-package dependencies; the table is built once.
+    from repro.paxos.types import Ballot
+    from repro.recovery.checkpoint import Checkpoint
+    from repro.recovery.messages import (
+        CheckpointData,
+        CheckpointFetch,
+        CheckpointInfo,
+        CheckpointQuery,
+        TrimCommand,
+        TrimQuery,
+        TrimReply,
+    )
+    from repro.reconfig.commands import (
+        ForwardedCommand,
+        MigrationInstall,
+        MigrationPrepare,
+        ProposeControl,
+        SpliceRing,
+    )
+    from repro.ringpaxos.messages import (
+        Decision,
+        Phase2,
+        Proposal,
+        RetransmitReply,
+        RetransmitRequest,
+    )
+    from repro.smr.command import Command, CommandBatch, Response, SubmitCommand
+    from repro.types import Value, ValueBatch
+
+    return {
+        # core value types
+        1: Value,
+        2: ValueBatch,
+        3: Ballot,
+        # ring paxos
+        10: Proposal,
+        11: Phase2,
+        12: Decision,
+        13: RetransmitRequest,
+        14: RetransmitReply,
+        # smr / client traffic
+        20: Command,
+        21: CommandBatch,
+        22: SubmitCommand,
+        23: Response,
+        # recovery
+        30: CheckpointQuery,
+        31: CheckpointInfo,
+        32: CheckpointFetch,
+        33: CheckpointData,
+        34: TrimQuery,
+        35: TrimReply,
+        36: TrimCommand,
+        37: Checkpoint,
+        # reconfiguration control payloads
+        40: SpliceRing,
+        41: MigrationPrepare,
+        42: MigrationInstall,
+        43: ForwardedCommand,
+        44: ProposeControl,
+    }
+
+
+_BY_ID: Dict[int, Type] = {}
+_BY_CLS: Dict[Type, int] = {}
+_FIELDS: Dict[Type, Tuple[str, ...]] = {}
+
+
+def _ensure_registry() -> None:
+    if _BY_ID:
+        return
+    table = _wire_types()
+    for class_id, cls in table.items():
+        _BY_ID[class_id] = cls
+        _BY_CLS[cls] = class_id
+        _FIELDS[cls] = tuple(f.name for f in fields(cls))
+
+
+def WIRE_TYPES() -> Dict[int, Type]:
+    """The registered ``class id -> dataclass`` table (for tests and tools)."""
+    _ensure_registry()
+    return dict(_BY_ID)
+
+
+# ----------------------------------------------------------------------
+# value encoding
+# ----------------------------------------------------------------------
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT64 = 0x03
+_T_BIGINT = 0x04
+_T_FLOAT = 0x05
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_TUPLE = 0x08
+_T_LIST = 0x09
+_T_DICT = 0x0A
+_T_SET = 0x0B
+_T_FROZENSET = 0x0C
+_T_DATACLASS = 0x0D
+
+_pack_q = struct.Struct("!q").pack
+_pack_d = struct.Struct("!d").pack
+_pack_I = struct.Struct("!I").pack
+_pack_H = struct.Struct("!H").pack
+_unpack_q = struct.Struct("!q").unpack_from
+_unpack_d = struct.Struct("!d").unpack_from
+_unpack_I = struct.Struct("!I").unpack_from
+_unpack_H = struct.Struct("!H").unpack_from
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_T_INT64)
+            out += _pack_q(value)
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_T_BIGINT)
+            out += _pack_I(len(raw))
+            out += raw
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += _pack_d(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _pack_I(len(raw))
+        out += raw
+    elif type(value) is bytes or type(value) is bytearray:
+        out.append(_T_BYTES)
+        out += _pack_I(len(value))
+        out += value
+    elif type(value) is tuple:
+        out.append(_T_TUPLE)
+        out += _pack_I(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) is list:
+        out.append(_T_LIST)
+        out += _pack_I(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        out += _pack_I(len(value))
+        items = value.items()
+        if all(type(k) is str for k in value):
+            # Sorted for byte stability (wire dicts are string-keyed).
+            items = sorted(items)
+        for key, item in items:
+            _encode_into(out, key)
+            _encode_into(out, item)
+    elif type(value) is set or type(value) is frozenset:
+        out.append(_T_SET if type(value) is set else _T_FROZENSET)
+        encoded = sorted(_encode_value_bytes(item) for item in value)
+        out += _pack_I(len(encoded))
+        for raw in encoded:
+            out += raw
+    else:
+        cls = type(value)
+        class_id = _BY_CLS.get(cls)
+        if class_id is None:
+            raise CodecError(
+                f"cannot encode {cls.__module__}.{cls.__qualname__}: not a registered wire type"
+            )
+        out.append(_T_DATACLASS)
+        out += _pack_H(class_id)
+        for name in _FIELDS[cls]:
+            _encode_into(out, getattr(value, name))
+
+
+def _encode_value_bytes(value: Any) -> bytes:
+    buf = bytearray()
+    _encode_into(buf, value)
+    return bytes(buf)
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value (a wire dataclass, primitive or container) to bytes."""
+    _ensure_registry()
+    return _encode_value_bytes(value)
+
+
+def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT64:
+        return _unpack_q(data, offset)[0], offset + 8
+    if tag == _T_BIGINT:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return int.from_bytes(data[offset : offset + length], "big", signed=True), offset + length
+    if tag == _T_FLOAT:
+        return _unpack_d(data, offset)[0], offset + 8
+    if tag == _T_STR:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _T_BYTES:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return bytes(data[offset : offset + length]), offset + length
+    if tag == _T_TUPLE or tag == _T_LIST:
+        (count,) = _unpack_I(data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_DICT:
+        (count,) = _unpack_I(data, offset)
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_from(data, offset)
+            item, offset = _decode_from(data, offset)
+            result[key] = item
+        return result, offset
+    if tag == _T_SET or tag == _T_FROZENSET:
+        (count,) = _unpack_I(data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return (set(items) if tag == _T_SET else frozenset(items)), offset
+    if tag == _T_DATACLASS:
+        (class_id,) = _unpack_H(data, offset)
+        offset += 2
+        cls = _BY_ID.get(class_id)
+        if cls is None:
+            raise CodecError(f"unknown wire class id {class_id}")
+        values = []
+        for _ in _FIELDS[cls]:
+            item, offset = _decode_from(data, offset)
+            values.append(item)
+        return cls(*values), offset
+    raise CodecError(f"unknown value tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value produced by :func:`encode_value` (must consume all bytes)."""
+    _ensure_registry()
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise CodecError(f"trailing garbage after value: {len(data) - offset} bytes")
+    return value
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(body: bytes) -> bytes:
+    """Wrap ``body`` in a length prefix and the codec version byte."""
+    return _pack_I(len(body) + 1) + bytes([CODEC_VERSION]) + body
+
+
+def decode_frame(data, offset: int = 0) -> Tuple[bytes, int]:
+    """Extract one frame from ``data`` starting at ``offset``.
+
+    Returns ``(body, consumed)``; ``(b"", 0)`` when ``data`` does not yet
+    hold a complete frame.  The length prefix covers version byte + body --
+    the *encoded length contract* the framing tests pin down.  ``data`` may
+    be ``bytes`` or a ``bytearray`` (the receive buffer); only the body is
+    copied out.
+    """
+    if len(data) - offset < 4:
+        return b"", 0
+    (length,) = _unpack_I(data, offset)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    if length < 1:
+        raise CodecError("empty frame (missing version byte)")
+    if len(data) - offset < 4 + length:
+        return b"", 0
+    version = data[offset + 4]
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"codec version mismatch: peer speaks v{version}, this build speaks v{CODEC_VERSION}"
+        )
+    return bytes(data[offset + 5 : offset + 4 + length]), 4 + length
+
+
+def frame_message(src: str, dst: str, payload: Any) -> bytes:
+    """Encode one transport message (sender, receiver, payload) as a frame."""
+    return encode_frame(encode_value((src, dst, payload)))
+
+
+def iter_frames(buffer: bytearray):
+    """Yield ``(src, dst, payload)`` for every complete frame in ``buffer``.
+
+    Consumed bytes are removed from ``buffer`` in place; a trailing partial
+    frame is left for the next read.  Frames are parsed at an advancing
+    offset and the buffer trimmed once per call (a 64 KiB read full of
+    small frames would otherwise recopy the whole buffer per frame).
+    """
+    offset = 0
+    try:
+        while True:
+            body, consumed = decode_frame(buffer, offset)
+            if not consumed:
+                return
+            offset += consumed
+            value = decode_value(body)
+            if not (isinstance(value, tuple) and len(value) == 3):
+                raise CodecError("malformed transport frame: expected (src, dst, payload)")
+            yield value
+    finally:
+        if offset:
+            del buffer[:offset]
+
+
+def is_registered(value: Any) -> bool:
+    """True when ``value``'s type is a registered wire dataclass."""
+    _ensure_registry()
+    return is_dataclass(value) and type(value) in _BY_CLS

@@ -1,0 +1,672 @@
+"""Live runtime backend: asyncio tasks over real localhost TCP.
+
+This is the second implementation of the runtime protocols
+(:mod:`repro.runtime.interfaces`).  Where the simulator runs the whole
+deployment inside one virtual clock, the live backend runs **each node as an
+asyncio task set** -- a clock pump, a TCP server, and one writer task per
+peer connection -- and ships every protocol message through the versioned
+:mod:`repro.runtime.codec` over length-prefixed TCP.  The protocol stack
+(:class:`~repro.multiring.node.MultiRingNode` and everything beneath it)
+runs **unchanged**.
+
+Key pieces:
+
+* :class:`LiveClock` -- a wall-clock pacer sharing the simulator's calendar
+  queue contract (``_now`` / ``_queue`` / ``_seq``), so the PR-4 fast paths
+  that push heap entries directly keep working.  An asyncio pump executes
+  due events and sleeps until the next deadline.
+* :class:`LiveTransport` -- FIFO-per-channel messaging: local processes are
+  delivered through the clock, remote ones through one ordered TCP stream
+  per peer (one writer task each, mirroring the paper's per-ring TCP
+  connections).
+* :class:`LiveNodeRuntime` -- the per-node :class:`Runtime`: clock +
+  transport + monitor/rng/trace + the process registry.  Remote ring members
+  appear as always-alive :class:`RemotePeer` stubs (live failure detection
+  is an open item; see ROADMAP).
+* :class:`LiveFileStore` -- a real append log behind the
+  :class:`~repro.runtime.interfaces.StableStore` surface (``fsync`` for the
+  synchronous modes).  Record *content* persistence/recovery in live mode is
+  an open item; the store provides real durability timing and accounting.
+* :class:`LiveDeployment` -- builds an N-node deployment in one OS process
+  (every node still talks TCP to every other through its own server socket;
+  ports are ephemeral, so parallel runs never collide).  One node per OS
+  process is the documented open item on the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import os
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import MultiRingConfig, RingConfig
+from repro.coordination.registry import Registry
+from repro.errors import ConfigurationError, NetworkError
+from repro.multiring.node import MultiRingNode
+from repro.runtime.codec import frame_message, iter_frames
+from repro.runtime.cpu import CPUConfig
+from repro.runtime.interfaces import StorageMode
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.random import RandomStreams
+from repro.sim.trace import Trace
+
+__all__ = [
+    "LiveClock",
+    "LiveTransport",
+    "LiveNodeRuntime",
+    "LiveFileStore",
+    "RemotePeer",
+    "LiveRingSpec",
+    "LiveDeployment",
+]
+
+#: How many due events the clock pump executes before yielding to the event
+#: loop so socket reads/writes make progress under bursty load.
+_PUMP_BATCH = 512
+
+#: Sentinel closing a peer writer task.
+_CLOSE = object()
+
+
+class LiveClock(Simulator):
+    """Wall-clock event pacer sharing the simulator's scheduling contract.
+
+    Inherits the calendar queue, the FIFO tie-break, tombstone cancellation
+    and the ``call_at``/``call_later``/``schedule`` surface from
+    :class:`~repro.sim.engine.Simulator`; instead of ``run()`` jumping the
+    clock to each event, an asyncio :meth:`pump` advances ``_now`` with the
+    loop's monotonic time and executes events as their deadlines pass.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wakeup: Optional[asyncio.Event] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def attach(self, loop: asyncio.AbstractEventLoop, epoch: float) -> None:
+        """Bind the clock to ``loop``, mapping loop time ``epoch`` to t=0.
+
+        A shared epoch across all nodes of a deployment keeps their
+        monitor timelines comparable.
+        """
+        self._loop = loop
+        self._epoch = epoch
+        self._wakeup = asyncio.Event()
+
+    def _wall(self) -> float:
+        return self._loop.time() - self._epoch
+
+    def post(self, callback: Callable[..., Any], *args: Any) -> None:
+        """Enqueue ``callback`` to run in the pump as soon as possible.
+
+        The only scheduling entry point that may be called from *outside* a
+        pump callback (socket readers, the API facade); it wakes the pump.
+        """
+        heapq.heappush(self._queue, (self._now, next(self._seq), callback, args))
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    async def pump(self) -> None:
+        """Execute events as the wall clock passes their deadlines."""
+        queue = self._queue
+        tombstones = self._tombstones
+        heappop = heapq.heappop
+        while not self._stopped:
+            now = self._wall()
+            if now > self._now:
+                self._now = now
+            executed = 0
+            while queue and executed < _PUMP_BATCH:
+                time, seq, callback, args = queue[0]
+                if tombstones and seq in tombstones:
+                    tombstones.discard(seq)
+                    heappop(queue)
+                    continue
+                if time > self._now:
+                    now = self._wall()
+                    if now > self._now:
+                        self._now = now
+                    if time > self._now:
+                        break
+                heappop(queue)
+                self._processed += 1
+                try:
+                    callback(*args)
+                except Exception:  # noqa: BLE001 - a live node must not die on one handler
+                    print(f"[live-clock] handler {callback!r} raised:", file=sys.stderr)
+                    traceback.print_exc()
+                executed += 1
+            if self._stopped:
+                return
+            if executed >= _PUMP_BATCH:
+                await asyncio.sleep(0)  # let socket IO progress mid-burst
+                continue
+            if queue:
+                delay = queue[0][0] - self._wall()
+                if delay > 0:
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), timeout=delay)
+                    except asyncio.TimeoutError:
+                        pass
+                else:
+                    await asyncio.sleep(0)
+            else:
+                await self._wakeup.wait()
+            self._wakeup.clear()
+
+
+class RemotePeer:
+    """Liveness stub for a ring member hosted by another node.
+
+    The live backend has no failure detector yet (open item): remote peers
+    are assumed alive, exactly like the paper's deployment assumes Zookeeper
+    reconfigures the ring when a member actually dies.
+    """
+
+    __slots__ = ("name", "alive")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemotePeer({self.name!r})"
+
+
+class LiveTransport:
+    """FIFO-per-channel transport over localhost TCP.
+
+    Local destinations are delivered through the clock (preserving FIFO via
+    the calendar queue's tie-break); remote destinations are framed by the
+    codec and written to one ordered connection per peer node, so every
+    ``(src, dst)`` channel is FIFO end to end -- the same guarantee the
+    simulator's network model provides and TCP gives the paper's system.
+    """
+
+    def __init__(self, clock: LiveClock) -> None:
+        self._clock = clock
+        self._processes: Dict[str, Any] = {}
+        self._sites: Dict[str, str] = {}
+        #: Remote process name -> (host, port) of its node's server.
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._send_queues: Dict[Tuple[str, int], asyncio.Queue] = {}
+        self._writer_tasks: Dict[Tuple[str, int], asyncio.Task] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_received = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.wire_bytes_sent = 0
+
+    # -- Transport protocol ----------------------------------------------
+    def attach(self, process: Any, site: str) -> None:
+        self._processes[process.name] = process
+        self._sites[process.name] = site
+
+    def detach(self, name: str) -> None:
+        self._processes.pop(name, None)
+        self._sites.pop(name, None)
+
+    def link_faulted(self, src: str, dst: str) -> bool:
+        return False  # live fault injection is an open item
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        process = self._processes.get(dst)
+        if process is not None:
+            if process.alive:
+                self.messages_delivered += 1
+                self._clock.post(process.deliver_message, src, payload)
+            else:
+                self.messages_dropped += 1
+            return
+        address = self._addresses.get(dst)
+        if address is None:
+            self.messages_dropped += 1
+            return
+        frame = frame_message(src, dst, payload)
+        self.frames_sent += 1
+        self.wire_bytes_sent += len(frame)
+        self._queue_for(address).put_nowait(frame)
+
+    # -- peer wiring ------------------------------------------------------
+    def set_peer(self, name: str, address: Tuple[str, int]) -> None:
+        self._addresses[name] = address
+
+    def peer_names(self) -> List[str]:
+        return list(self._addresses)
+
+    def _queue_for(self, address: Tuple[str, int]) -> asyncio.Queue:
+        queue = self._send_queues.get(address)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._send_queues[address] = queue
+            self._writer_tasks[address] = asyncio.get_running_loop().create_task(
+                self._writer(address, queue)
+            )
+        return queue
+
+    async def _writer(self, address: Tuple[str, int], queue: asyncio.Queue) -> None:
+        """Drain ``queue`` onto one ordered connection to ``address``."""
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                frame = await queue.get()
+                if frame is _CLOSE:
+                    return
+                while writer is None:
+                    try:
+                        _, writer = await asyncio.open_connection(*address)
+                    except OSError:
+                        await asyncio.sleep(0.05)  # peer server not up yet
+                writer.write(frame)
+                # Coalesce whatever queued up while awaiting: one syscall.
+                closing = False
+                while not queue.empty():
+                    extra = queue.get_nowait()
+                    if extra is _CLOSE:
+                        closing = True
+                        break
+                    writer.write(extra)
+                await writer.drain()
+                if closing:
+                    return
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Server side: decode frames and deliver to local processes."""
+        buffer = bytearray()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                for src, dst, payload in iter_frames(buffer):
+                    self.messages_received += 1
+                    process = self._processes.get(dst)
+                    if process is None or not process.alive:
+                        self.messages_dropped += 1
+                        continue
+                    self._clock.post(process.deliver_message, src, payload)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        for queue in self._send_queues.values():
+            queue.put_nowait(_CLOSE)
+        tasks = list(self._writer_tasks.values())
+        for task in tasks:
+            try:
+                await asyncio.wait_for(task, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                task.cancel()
+        self._send_queues.clear()
+        self._writer_tasks.clear()
+
+
+class LiveFileStore:
+    """A real append log behind the :class:`StableStore` surface.
+
+    ``write`` appends and (for synchronous modes) ``fsync``\\ s before
+    returning; ``write_async`` leaves flushing to the OS.  The protocol
+    layer only hands byte *counts* to its store (record content is opaque
+    there), so the log carries placeholder blocks -- real durability timing
+    and accounting, with content-level recovery left as an open item.
+    """
+
+    __slots__ = ("sim", "path", "_file", "_fsync", "bytes_written", "ops")
+
+    def __init__(self, clock: LiveClock, path: str, fsync: bool = True) -> None:
+        self.sim = clock
+        self.path = path
+        self._file = open(path, "ab")
+        self._fsync = fsync
+        self.bytes_written = 0
+        self.ops = 0
+
+    def _append(self, nbytes: int, force: bool) -> float:
+        if nbytes > 0:
+            self._file.write(b"\x00" * nbytes)
+        self._file.flush()
+        if force and self._fsync:
+            os.fsync(self._file.fileno())
+        self.bytes_written += nbytes
+        self.ops += 1
+        return self.sim.now
+
+    def write(self, nbytes, callback=None, callback_args=()) -> float:
+        done = self._append(nbytes, force=True)
+        if callback is not None:
+            self.sim.call_later(0.0, callback, *callback_args)
+        return done
+
+    def write_async(self, nbytes, callback=None, callback_args=()) -> float:
+        done = self._append(nbytes, force=False)
+        if callback is not None:
+            self.sim.call_later(0.0, callback, *callback_args)
+        return done
+
+    def read(self, nbytes, callback=None) -> float:
+        if callback is not None:
+            self.sim.call_later(0.0, callback)
+        return self.sim.now
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class LiveNodeRuntime:
+    """The :class:`~repro.runtime.interfaces.Runtime` of one live node."""
+
+    def __init__(
+        self,
+        name: str,
+        site: str = "local",
+        seed: int = 0,
+        storage_dir: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.sim = LiveClock()
+        self.network = LiveTransport(self.sim)
+        self.monitor = Monitor()
+        self.rng = RandomStreams(seed)
+        self.trace = Trace(enabled=False)
+        self.default_site = site
+        self.storage_dir = storage_dir
+        self._processes: Dict[str, Any] = {}
+        self._peers: Set[str] = set()
+        self._remote_stubs: Dict[str, RemotePeer] = {}
+        self._stores: List[LiveFileStore] = []
+        self._started = False
+
+    # -- process registry -------------------------------------------------
+    def register(self, process: Any, site: str) -> None:
+        if process.name in self._processes:
+            raise ConfigurationError(f"a process named {process.name!r} already exists")
+        self._processes[process.name] = process
+        self.network.attach(process, site)
+        if self._started:
+            self.sim.call_later(0.0, process.on_start)
+
+    def process(self, name: str) -> Any:
+        local = self._processes.get(name)
+        if local is not None:
+            return local
+        if name in self._peers:
+            return self._stub(name)
+        raise NetworkError(f"unknown process {name!r}")
+
+    def get_process(self, name: str) -> Optional[Any]:
+        local = self._processes.get(name)
+        if local is not None:
+            return local
+        if name in self._peers:
+            return self._stub(name)
+        return None
+
+    def has_process(self, name: str) -> bool:
+        return name in self._processes or name in self._peers
+
+    def processes(self) -> List[Any]:
+        return list(self._processes.values())
+
+    def process_names(self) -> List[str]:
+        return list(self._processes)
+
+    def _stub(self, name: str) -> RemotePeer:
+        stub = self._remote_stubs.get(name)
+        if stub is None:
+            stub = RemotePeer(name)
+            self._remote_stubs[name] = stub
+        return stub
+
+    def add_peer(self, name: str, address: Tuple[str, int]) -> None:
+        """Make the remote process ``name`` reachable at ``address``."""
+        self._peers.add(name)
+        self.network.set_peer(name, address)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for process in list(self._processes.values()):
+            self.sim.call_later(0.0, process.on_start)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- failure hooks -----------------------------------------------------
+    def crash(self, name: str) -> None:
+        self.process(name).crash()
+
+    def recover(self, name: str) -> None:
+        self.process(name).recover()
+
+    # -- storage factory ---------------------------------------------------
+    def new_store(self, mode: StorageMode) -> Optional[LiveFileStore]:
+        if mode is StorageMode.MEMORY:
+            return None
+        if self.storage_dir is None:
+            # Refuse rather than degrade: without a directory the acceptor
+            # would otherwise fall back to the simulator's timing-model disk
+            # and the requested durability would silently not exist.
+            raise ConfigurationError(
+                f"storage mode {mode.value!r} on the live backend needs a "
+                "storage directory (pass storage_dir= to the deployment)"
+            )
+        os.makedirs(self.storage_dir, exist_ok=True)
+        path = os.path.join(
+            self.storage_dir, f"{self.name}-store-{len(self._stores)}.log"
+        )
+        store = LiveFileStore(self.sim, path, fsync=mode.synchronous)
+        self._stores.append(store)
+        return store
+
+    def close_stores(self) -> None:
+        for store in self._stores:
+            store.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LiveNodeRuntime({self.name!r}, t={self.sim.now:.3f})"
+
+
+# ----------------------------------------------------------------------
+# deployment builder
+# ----------------------------------------------------------------------
+@dataclass
+class LiveRingSpec:
+    """Declarative description of one ring for the live backend."""
+
+    group: str
+    members: List[str]
+    acceptors: Optional[List[str]] = None
+    proposers: Optional[List[str]] = None
+    learners: Optional[List[str]] = None
+    coordinator: Optional[str] = None
+    storage_mode: StorageMode = StorageMode.MEMORY
+
+    def resolved(self, role: str) -> List[str]:
+        explicit = getattr(self, role)
+        return list(explicit) if explicit is not None else list(self.members)
+
+
+@dataclass
+class _LiveNode:
+    """One live node: runtime + server + its MultiRingNode."""
+
+    name: str
+    runtime: LiveNodeRuntime
+    registry: Registry
+    node: MultiRingNode
+    server: Optional[asyncio.AbstractServer] = None
+    address: Optional[Tuple[str, int]] = None
+    pump_task: Optional[asyncio.Task] = None
+    deliveries: List[Any] = field(default_factory=list)
+
+
+class LiveDeployment:
+    """An N-node live deployment inside one OS process.
+
+    Every node gets its own runtime (clock pump, TCP server, peers) and its
+    own :class:`Registry` built from the shared ring specs -- no in-memory
+    state is shared between nodes, so the same wiring works when nodes later
+    move to separate OS processes (ROADMAP open item).  All inter-node
+    traffic crosses real localhost TCP.
+    """
+
+    def __init__(
+        self,
+        rings: Sequence[LiveRingSpec],
+        config: Optional[MultiRingConfig] = None,
+        ring_config: Optional[RingConfig] = None,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+        storage_dir: Optional[str] = None,
+        record_deliveries: bool = True,
+    ) -> None:
+        if not rings:
+            raise ConfigurationError("a live deployment needs at least one ring")
+        self.rings = list(rings)
+        self.config = config or MultiRingConfig.datacenter()
+        self.ring_config = ring_config
+        self.host = host
+        self.seed = seed
+        self.storage_dir = storage_dir
+        self.record_deliveries = record_deliveries
+        self.nodes: Dict[str, _LiveNode] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def node_names(self) -> List[str]:
+        names: List[str] = []
+        for spec in self.rings:
+            for member in spec.members:
+                if member not in names:
+                    names.append(member)
+        return names
+
+    def node(self, name: str) -> _LiveNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown live node {name!r}") from None
+
+    async def start(self) -> None:
+        """Build every node, bind its server, connect peers, start pumps."""
+        if self._started:
+            return
+        self._started = True
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+
+        for name in self.node_names():
+            runtime = LiveNodeRuntime(
+                name, seed=self.seed, storage_dir=self.storage_dir
+            )
+            runtime.sim.attach(loop, epoch)
+            registry = Registry()
+            for spec in self.rings:
+                registry.register_ring(
+                    spec.group,
+                    members_in_ring_order=spec.members,
+                    proposers=spec.resolved("proposers"),
+                    acceptors=spec.resolved("acceptors"),
+                    learners=spec.resolved("learners"),
+                    coordinator=spec.coordinator,
+                )
+            node = MultiRingNode(
+                runtime,
+                registry,
+                name,
+                config=self.config,
+                cpu_config=CPUConfig.free(),
+            )
+            live = _LiveNode(name=name, runtime=runtime, registry=registry, node=node)
+            for spec in self.rings:
+                if name in spec.members:
+                    ring_config = self.ring_config or self.config.ring.with_storage(
+                        spec.storage_mode
+                    )
+                    node.join_ring(spec.group, ring_config=ring_config)
+            if self.record_deliveries:
+                node.on_deliver(live.deliveries.append)
+            server = await asyncio.start_server(
+                runtime.network.handle_connection, self.host, 0
+            )
+            live.server = server
+            live.address = server.sockets[0].getsockname()[:2]
+            self.nodes[name] = live
+
+        # Everyone knows everyone: process name -> hosting node's address.
+        for live in self.nodes.values():
+            for other in self.nodes.values():
+                if other.name != live.name:
+                    live.runtime.add_peer(other.name, other.address)
+
+        for live in self.nodes.values():
+            live.pump_task = loop.create_task(
+                live.runtime.sim.pump(), name=f"pump-{live.name}"
+            )
+            live.runtime.start()
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        for live in self.nodes.values():
+            if live.server is not None:
+                live.server.close()
+            await live.runtime.network.close()
+        for live in self.nodes.values():
+            live.runtime.sim.stop()
+            if live.pump_task is not None:
+                try:
+                    await asyncio.wait_for(live.pump_task, timeout=1.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    live.pump_task.cancel()
+            live.runtime.close_stores()
+        for live in self.nodes.values():
+            if live.server is not None:
+                await live.server.wait_closed()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def multicast(self, via: str, group: str, payload: Any, size_bytes: int) -> None:
+        """Submit ``payload`` on ``group`` through node ``via`` (thread-unsafe:
+        call from the running event loop, e.g. :meth:`LiveClock.post` bridges)."""
+        live = self.node(via)
+        live.runtime.sim.post(live.node.multicast, group, payload, size_bytes)
+
+    async def __aenter__(self) -> "LiveDeployment":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()

@@ -18,8 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import BatchingConfig, MultiRingConfig, RecoveryConfig
 from repro.errors import ConfigurationError, ServiceError
 from repro.multiring.deployment import Deployment, RingSpec
-from repro.sim.disk import StorageMode, disk_for_mode
-from repro.sim.world import World
+from repro.runtime.interfaces import Runtime, StorageMode
 from repro.smr.client import Request
 from repro.smr.frontend import ProposerFrontend
 from repro.smr.replica import Replica
@@ -36,7 +35,7 @@ class DLog:
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         logs: Sequence[str] = ("log-0",),
         replicas: int = 1,
         acceptors_per_log: int = 3,
@@ -92,7 +91,7 @@ class DLog:
             state_machine = DLogStateMachine(
                 logs=tuple(self.logs),
                 cache_bytes=replica_cache_bytes,
-                disk=disk_for_mode(self.world.sim, StorageMode.ASYNC_SSD),
+                disk=self.world.new_store(StorageMode.ASYNC_SSD),
                 synchronous_disk=False,
             )
             replica = Replica(
@@ -144,7 +143,7 @@ class DLog:
 
         if enable_recovery:
             for replica in self.replica_nodes:
-                disk = disk_for_mode(self.world.sim, StorageMode.SYNC_SSD)
+                disk = self.world.new_store(StorageMode.SYNC_SSD)
                 replica.enable_recovery(self.recovery_config, checkpoint_disk=disk)
             # Acceptor side of the trim protocol (rounds run at ring coordinators,
             # TrimCommands executed by every acceptor).

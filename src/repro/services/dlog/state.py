@@ -21,7 +21,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ServiceError
-from repro.sim.disk import Disk
+from repro.runtime.interfaces import StableStore
 from repro.smr.state_machine import StateMachine
 from repro.types import GroupId
 
@@ -48,7 +48,7 @@ class DLogStateMachine(StateMachine):
         self,
         logs: Tuple[str, ...] = (),
         cache_bytes: int = 200 * 1024 * 1024,
-        disk: Optional[Disk] = None,
+        disk: Optional[StableStore] = None,
         synchronous_disk: bool = False,
     ) -> None:
         self._logs: Dict[str, _Log] = {name: _Log() for name in logs}

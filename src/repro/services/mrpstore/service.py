@@ -24,8 +24,7 @@ from repro.config import BatchingConfig, MultiRingConfig, RecoveryConfig
 from repro.errors import ConfigurationError, CoordinationError, ServiceError
 from repro.multiring.deployment import Deployment, RingSpec
 from repro.reconfig.migration import MigrationAgent
-from repro.sim.disk import Disk, StorageMode, disk_for_mode
-from repro.sim.world import World
+from repro.runtime.interfaces import Runtime, StableStore, StorageMode
 from repro.smr.client import Request
 from repro.smr.command import Command
 from repro.smr.frontend import ProposerFrontend
@@ -59,7 +58,7 @@ class MRPStore:
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         partitions: int = 3,
         replicas_per_partition: int = 3,
         acceptors_per_partition: int = 3,
@@ -247,7 +246,7 @@ class MRPStore:
         if enable_recovery:
             for partition in self.partitions.values():
                 for replica in partition.replicas:
-                    disk = disk_for_mode(self.world.sim, StorageMode.SYNC_SSD)
+                    disk = self.world.new_store(StorageMode.SYNC_SSD)
                     replica.enable_recovery(self.recovery_config, checkpoint_disk=disk)
             # The trim protocol also needs the acceptor side: ring coordinators
             # run the periodic trim rounds and every acceptor executes the

@@ -1,108 +1,11 @@
-"""CPU cost model.
+"""Backwards-compatible shim: the CPU model now lives in the runtime layer.
 
-Figure 3 (bottom-left) reports the CPU utilization of the ring coordinator
-and attributes the in-memory throughput ceiling to it.  The reproduction
-models each process's CPU as a single serial resource: protocol code charges
-it a per-message plus per-byte cost, and the utilization over a window is the
-fraction of that window during which the resource was busy.
-
-The paper also observes that the *asynchronous disk* mode exhibits the highest
-coordinator CPU because of Java's parallel garbage collector churning through
-heap-allocated buffers (in-memory mode uses off-heap buffers).  The model
-exposes an ``overhead_factor`` so experiments can reproduce that effect.
+:class:`~repro.runtime.cpu.CPU` only needs a
+:class:`~repro.runtime.interfaces.Clock`, so it moved to
+:mod:`repro.runtime.cpu`; this module keeps the historical import path
+``repro.sim.cpu`` working for existing code and tests.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Callable, Optional
-
-from repro.sim.engine import Simulator
+from repro.runtime.cpu import CPU, CPUConfig
 
 __all__ = ["CPUConfig", "CPU"]
-
-
-@dataclass(slots=True)
-class CPUConfig:
-    """Per-message processing costs charged to a process's CPU."""
-
-    #: Fixed cost of handling one protocol message, seconds.
-    per_message_cost: float = 4e-6
-    #: Marginal cost per payload byte (checksumming, copying), seconds/byte.
-    per_byte_cost: float = 0.25e-9
-    #: Multiplier applied to all costs; models e.g. GC overhead (paper: async
-    #: disk mode has the highest coordinator CPU because of the Java GC).
-    overhead_factor: float = 1.0
-
-
-class CPU:
-    """A serial CPU resource with busy-time accounting."""
-
-    __slots__ = ("sim", "config", "_busy_until", "_busy_time", "operations")
-
-    def __init__(self, sim: Simulator, config: Optional[CPUConfig] = None) -> None:
-        self.sim = sim
-        self.config = config or CPUConfig()
-        self._busy_until = 0.0
-        self._busy_time = 0.0
-        self.operations = 0
-
-    # ------------------------------------------------------------------
-    def cost(self, nbytes: int = 0, messages: int = 1) -> float:
-        """Compute the CPU time for handling ``messages`` totalling ``nbytes``."""
-        base = messages * self.config.per_message_cost + nbytes * self.config.per_byte_cost
-        return base * self.config.overhead_factor
-
-    def execute(
-        self,
-        work_seconds: float,
-        callback: Optional[Callable[[], None]] = None,
-    ) -> float:
-        """Occupy the CPU for ``work_seconds`` and return the completion time."""
-        if work_seconds < 0:
-            work_seconds = 0.0
-        start = self._busy_until
-        now = self.sim.now
-        if now > start:
-            start = now
-        end = start + work_seconds
-        self._busy_until = end
-        self._busy_time += work_seconds
-        self.operations += 1
-        if callback is not None:
-            self.sim.call_at(end, callback)
-        return end
-
-    def charge(self, nbytes: int = 0, messages: int = 1) -> float:
-        """Convenience: :meth:`cost` followed by :meth:`execute` (inlined)."""
-        config = self.config
-        work = (
-            messages * config.per_message_cost + nbytes * config.per_byte_cost
-        ) * config.overhead_factor
-        start = self._busy_until
-        now = self.sim.now
-        if now > start:
-            start = now
-        end = start + work
-        self._busy_until = end
-        self._busy_time += work
-        self.operations += 1
-        return end
-
-    # ------------------------------------------------------------------
-    @property
-    def busy_until(self) -> float:
-        return self._busy_until
-
-    @property
-    def total_busy_time(self) -> float:
-        return self._busy_time
-
-    def utilization(self, start: float, end: float) -> float:
-        """Fraction of ``[start, end)`` the CPU was busy (clamped to 100 %)."""
-        if end <= start:
-            return 0.0
-        return min(1.0, self._busy_time / (end - start))
-
-    def utilization_percent(self, start: float, end: float) -> float:
-        return 100.0 * self.utilization(start, end)

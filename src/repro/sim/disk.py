@@ -20,42 +20,16 @@ apply back-pressure.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import StorageError
+from repro.runtime.interfaces import StorageMode
 from repro.sim.engine import Simulator
 
+# ``StorageMode`` moved to the runtime layer (it is configuration shared by
+# every backend); re-exported here for the historical import path.
 __all__ = ["StorageMode", "DiskConfig", "Disk", "disk_for_mode", "HDD_CONFIG", "SSD_CONFIG"]
-
-
-class StorageMode(str, enum.Enum):
-    """The five acceptor storage modes evaluated in the paper."""
-
-    MEMORY = "memory"
-    ASYNC_HDD = "async-hdd"
-    ASYNC_SSD = "async-ssd"
-    SYNC_HDD = "sync-hdd"
-    SYNC_SSD = "sync-ssd"
-
-    @property
-    def synchronous(self) -> bool:
-        return self in (StorageMode.SYNC_HDD, StorageMode.SYNC_SSD)
-
-    @property
-    def durable(self) -> bool:
-        return self is not StorageMode.MEMORY
-
-    @property
-    def label(self) -> str:
-        return {
-            StorageMode.MEMORY: "In Memory",
-            StorageMode.ASYNC_HDD: "Async Disk",
-            StorageMode.ASYNC_SSD: "Async Disk (SSD)",
-            StorageMode.SYNC_HDD: "Sync Disk",
-            StorageMode.SYNC_SSD: "Sync Disk (SSD)",
-        }[self]
 
 
 @dataclass

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError, NetworkError
+from repro.runtime.interfaces import StorageMode
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
 from repro.sim.network import Network, NetworkConfig
@@ -22,7 +23,15 @@ __all__ = ["World"]
 
 
 class World:
-    """Container for one simulated deployment."""
+    """Container for one simulated deployment.
+
+    ``World`` is the simulator's implementation of the
+    :class:`~repro.runtime.interfaces.Runtime` protocol: ``.sim`` is its
+    :class:`~repro.runtime.interfaces.Clock`, ``.network`` its
+    :class:`~repro.runtime.interfaces.Transport`, and :meth:`new_store`
+    builds the timing-model disks behind the
+    :class:`~repro.runtime.interfaces.StableStore` surface.
+    """
 
     def __init__(
         self,
@@ -81,6 +90,13 @@ class World:
         return list(self._processes)
 
     # ------------------------------------------------------------------
+    # storage factory (Runtime protocol)
+    # ------------------------------------------------------------------
+    def new_store(self, mode: StorageMode) -> Optional["Disk"]:
+        """A stable-storage device for ``mode`` (``None`` for in-memory)."""
+        return disk_for_mode(self.sim, mode)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -114,4 +130,5 @@ class World:
 
 
 # Imported late to avoid a circular import at module load time.
+from repro.sim.disk import Disk, disk_for_mode  # noqa: E402  (intentional tail import)
 from repro.sim.process import Process  # noqa: E402  (intentional tail import)

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.errors import WorkloadError
-from repro.sim.process import Process
-from repro.sim.world import World
+from repro.runtime.actor import Process
+from repro.runtime.interfaces import Runtime
 from repro.smr.command import Command, Response, SubmitCommand
 from repro.types import GroupId
 
@@ -52,7 +52,7 @@ class ClosedLoopClient(Process):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         name: str,
         workload: Workload,
         frontends: Dict[GroupId, str],

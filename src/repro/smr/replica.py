@@ -19,9 +19,8 @@ from repro.multiring.node import MultiRingNode
 from repro.recovery.checkpoint import CheckpointStore
 from repro.recovery.replica_recovery import ReplicaRecovery
 from repro.recovery.trimming import TrimProtocol
-from repro.sim.cpu import CPUConfig
-from repro.sim.disk import Disk
-from repro.sim.world import World
+from repro.runtime.cpu import CPUConfig
+from repro.runtime.interfaces import Runtime, StableStore
 from repro.smr.command import Command, CommandBatch, Response
 from repro.smr.state_machine import StateMachine
 from repro.types import GroupId, Value, ValueBatch
@@ -34,7 +33,7 @@ class Replica(MultiRingNode):
 
     def __init__(
         self,
-        world: World,
+        world: Runtime,
         registry: Registry,
         name: str,
         state_machine: StateMachine,
@@ -66,7 +65,7 @@ class Replica(MultiRingNode):
     def enable_recovery(
         self,
         recovery_config: Optional[RecoveryConfig] = None,
-        checkpoint_disk: Optional[Disk] = None,
+        checkpoint_disk: Optional[StableStore] = None,
     ) -> ReplicaRecovery:
         """Attach checkpointing, trimming and replica recovery to this replica."""
         recovery_config = recovery_config or RecoveryConfig()

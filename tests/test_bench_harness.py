@@ -122,6 +122,7 @@ class TestHarnessPresets:
             "batching",
             "chaos",
             "perf",
+            "live",
         }
 
 

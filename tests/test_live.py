@@ -1,0 +1,221 @@
+"""Tests for the live asyncio/TCP runtime backend."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime.actor import Process
+from repro.runtime.interfaces import StorageMode
+from repro.runtime.live import (
+    LiveClock,
+    LiveDeployment,
+    LiveFileStore,
+    LiveNodeRuntime,
+    LiveRingSpec,
+    RemotePeer,
+)
+from repro.runtime.simbackend import as_runtime
+from repro.live import run_live_dlog
+
+
+def _run(coro, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+# ----------------------------------------------------------------------
+# LiveClock
+# ----------------------------------------------------------------------
+def test_live_clock_fires_events_in_deadline_order():
+    fired = []
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        clock = LiveClock()
+        clock.attach(loop, loop.time())
+        pump = loop.create_task(clock.pump())
+        clock.call_later(0.02, fired.append, "later")
+        clock.call_later(0.0, fired.append, "now")
+        handle = clock.schedule(0.01, fired.append, "cancelled")
+        handle.cancel()
+        clock.post(fired.append, "posted")
+        await asyncio.sleep(0.08)
+        clock.stop()
+        await pump
+
+    _run(scenario())
+    # "now" and "posted" share deadline t=0 and fall back to FIFO insertion
+    # order; the cancelled handle never fires.
+    assert fired == ["now", "posted", "later"]
+
+
+def test_live_clock_periodic_timer_reschedules():
+    ticks = []
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        clock = LiveClock()
+        clock.attach(loop, loop.time())
+        runtime = LiveNodeRuntime("t0")
+        runtime.sim = clock
+        pump = loop.create_task(clock.pump())
+
+        class Ticker(Process):
+            def on_start(self):
+                self.set_periodic_timer(0.01, ticks.append, "tick")
+
+        Ticker(runtime, "ticker")
+        runtime.start()
+        await asyncio.sleep(0.12)
+        clock.stop()
+        await pump
+
+    _run(scenario())
+    assert len(ticks) >= 3
+
+
+# ----------------------------------------------------------------------
+# runtime compliance + transport
+# ----------------------------------------------------------------------
+def test_live_runtime_satisfies_runtime_protocol():
+    runtime = LiveNodeRuntime("n0")
+    assert as_runtime(runtime) is runtime
+    runtime.add_peer("far-away", ("127.0.0.1", 1))
+    assert runtime.has_process("far-away")
+    peer = runtime.get_process("far-away")
+    assert isinstance(peer, RemotePeer) and peer.alive
+    assert runtime.get_process("nobody") is None
+    assert runtime.new_store(StorageMode.MEMORY) is None
+    # Durable modes need a storage directory; without one the runtime must
+    # refuse loudly rather than silently skip the requested durability.
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="storage directory"):
+        runtime.new_store(StorageMode.SYNC_SSD)
+
+
+def test_live_transport_is_fifo_per_channel_over_tcp():
+    received = []
+
+    class Recorder(Process):
+        def on_message(self, sender, payload):
+            received.append((sender, payload))
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+        sender_rt = LiveNodeRuntime("node-a")
+        receiver_rt = LiveNodeRuntime("node-b")
+        for runtime in (sender_rt, receiver_rt):
+            runtime.sim.attach(loop, epoch)
+        server = await asyncio.start_server(
+            receiver_rt.network.handle_connection, "127.0.0.1", 0
+        )
+        address = server.sockets[0].getsockname()[:2]
+
+        sender = Process(sender_rt, "a")
+        Recorder(receiver_rt, "b")
+        sender_rt.add_peer("b", address)
+        pumps = [
+            loop.create_task(sender_rt.sim.pump()),
+            loop.create_task(receiver_rt.sim.pump()),
+        ]
+        sender_rt.start()
+        receiver_rt.start()
+        for index in range(200):
+            sender.send("b", ("seq", index), size_bytes=64)
+        deadline = loop.time() + 10
+        while len(received) < 200 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await sender_rt.network.close()
+        await receiver_rt.network.close()
+        for runtime in (sender_rt, receiver_rt):
+            runtime.sim.stop()
+        await asyncio.gather(*pumps)
+        server.close()
+        await server.wait_closed()
+
+    _run(scenario())
+    assert [payload for _, payload in received] == [("seq", i) for i in range(200)]
+    assert all(sender == "a" for sender, _ in received)
+
+
+def test_live_file_store_appends_and_counts(tmp_path):
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        clock = LiveClock()
+        clock.attach(loop, loop.time())
+        store = LiveFileStore(clock, str(tmp_path / "acceptor.log"), fsync=True)
+        fired = []
+        store.write(128, fired.append, ("sync",))
+        store.write_async(64, fired.append, ("async",))
+        pump = loop.create_task(clock.pump())
+        await asyncio.sleep(0.05)
+        clock.stop()
+        await pump
+        store.close()
+        return fired
+
+    fired = _run(scenario())
+    assert fired == ["sync", "async"]
+    assert (tmp_path / "acceptor.log").stat().st_size == 192
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the 3-node dLog ring over real localhost TCP
+# ----------------------------------------------------------------------
+def test_live_dlog_smoke_zero_lost_acked_writes():
+    result = _run(run_live_dlog(nodes=3, values=60, window=16, timeout=20.0), timeout=60.0)
+    assert result["passed"], result["report"]
+    metrics = result["metrics"]
+    assert metrics["lost_acked_writes"] == 0
+    assert metrics["acked"] == 60
+    assert metrics["sequences_identical"] and metrics["state_identical"]
+    # Every protocol hop crossed a real socket: with 3 nodes each Phase2 /
+    # Decision circulation produces wire frames on every inter-node edge.
+    assert metrics["wire_frames"] > 60
+
+
+def test_live_dlog_smoke_with_file_storage(tmp_path):
+    result = _run(
+        run_live_dlog(
+            nodes=3,
+            values=30,
+            window=8,
+            storage="sync-ssd",
+            storage_dir=str(tmp_path),
+            timeout=20.0,
+        ),
+        timeout=60.0,
+    )
+    assert result["passed"], result["report"]
+    logs = list(tmp_path.glob("*-store-*.log"))
+    assert len(logs) == 3  # one real acceptor log per node
+    assert all(path.stat().st_size > 0 for path in logs)
+
+
+def test_live_deployment_builds_isolated_registries():
+    async def scenario():
+        deployment = LiveDeployment(
+            [LiveRingSpec(group="g", members=["n0", "n1", "n2"], coordinator="n0")]
+        )
+        async with deployment:
+            registries = [deployment.node(f"n{i}").registry for i in range(3)]
+            assert len({id(registry) for registry in registries}) == 3
+            for registry in registries:
+                descriptor = registry.ring("g")
+                assert descriptor.coordinator == "n0"
+                assert descriptor.quorum_size == 2
+            # Remote members resolve to always-alive peer stubs.
+            runtime = deployment.node("n0").runtime
+            assert isinstance(runtime.get_process("n1"), RemotePeer)
+
+    _run(scenario())
+
+
+@pytest.mark.slow
+def test_live_dlog_larger_run():
+    result = _run(run_live_dlog(nodes=5, values=500, window=32, timeout=60.0), timeout=120.0)
+    assert result["passed"], result["report"]
+    assert result["metrics"]["throughput_ops"] > 50

@@ -116,13 +116,21 @@ def run_chaos(
     settle: float = 3.0,
     seed: int = 42,
     trace_dir: Optional[str] = None,
+    tracing: bool = False,
+    trace_sample: int = 64,
 ) -> Dict:
     """Run the chaos campaign at ``scale`` and return the aggregated results."""
     if trace_dir is None:
         trace_dir = os.environ.get("CHAOS_TRACE_DIR") or None
     combos = build_combos(scale)
     runner = CampaignRunner(
-        combos, duration=duration, settle=settle, seed=seed, trace_dir=trace_dir
+        combos,
+        duration=duration,
+        settle=settle,
+        seed=seed,
+        trace_dir=trace_dir,
+        tracing=tracing,
+        trace_sample=trace_sample,
     )
     result = runner.run()
     result["scale"] = scale

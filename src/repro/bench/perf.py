@@ -68,21 +68,37 @@ def build_perf_world(
     seed: int = 7,
     threads: int = 8,
     value_size: int = _VALUE_SIZE,
+    tracing: bool = False,
+    trace_sample: int = 64,
 ) -> Tuple[World, Deployment, List[ClosedLoopProposerDriver]]:
     """Build one of the fixed perf scenarios (not yet started).
 
     ``lan`` is three nodes on one 10 Gbps site sharing two in-memory rings;
     ``wan3`` spreads the same ring pair over the three-continent preset used
     by the chaos campaigns.  Both are deliberately frozen: the perf baseline
-    is only comparable while the scenario stays byte-identical.
+    is only comparable while the scenario stays byte-identical.  ``tracing``
+    turns on sampled causal tracing -- used by the observability-overhead
+    check to measure what default-sampling instrumentation costs here.
     """
     if scenario == "lan":
-        world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+        world = World(
+            topology=lan_topology(),
+            seed=seed,
+            timeline_window=0.5,
+            tracing=tracing,
+            trace_sample=trace_sample,
+        )
         config = MultiRingConfig.datacenter()
         sites: Dict[str, str] = {}
     elif scenario == "wan3":
         preset = get_preset("wan3")
-        world = World(topology=preset.build(), seed=seed, timeline_window=0.5)
+        world = World(
+            topology=preset.build(),
+            seed=seed,
+            timeline_window=0.5,
+            tracing=tracing,
+            trace_sample=trace_sample,
+        )
         config = MultiRingConfig.wide_area()
         sites = {f"node-{i}": site for i, site in enumerate(preset.sites)}
     else:
@@ -108,8 +124,16 @@ def build_perf_world(
     return world, deployment, drivers
 
 
-def _run_scenario(scenario: str, duration: float, threads: int) -> Dict:
-    world, deployment, drivers = build_perf_world(scenario, threads=threads)
+def _run_scenario(
+    scenario: str,
+    duration: float,
+    threads: int,
+    tracing: bool = False,
+    trace_sample: int = 64,
+) -> Dict:
+    world, deployment, drivers = build_perf_world(
+        scenario, threads=threads, tracing=tracing, trace_sample=trace_sample
+    )
     world.start()
     for driver in drivers:
         driver.start()
@@ -132,6 +156,7 @@ def _run_scenario(scenario: str, duration: float, threads: int) -> Dict:
     completed = sum(driver.completed for driver in drivers)
     return {
         "scenario": scenario,
+        "tracing": tracing,
         "sim_duration_s": duration,
         # Deterministic (simulated-time) metrics: gated hard.
         "events": events,

@@ -80,7 +80,7 @@ def collect_smoke_metrics(scale: str = "smoke") -> Dict:
     return {"scale": scale, "metrics": metrics}
 
 
-def collect_perf_metrics(scale: str = "smoke") -> Dict:
+def collect_perf_metrics(scale: str = "smoke", obs_overhead: bool = False) -> Dict:
     """Run the simulator perf bench and distill its gate metrics.
 
     Simulated-time rates (events and deliveries per simulated second) are
@@ -89,9 +89,17 @@ def collect_perf_metrics(scale: str = "smoke") -> Dict:
     runner jitter, so they are emitted WITHOUT a direction suffix -- the
     gate reports them as warn-only notes instead of pass/fail verdicts --
     while still landing in the JSON artifact for trend tracking.
+
+    ``obs_overhead`` re-runs every scenario with causal tracing enabled at
+    the default sampling rate and emits the traced wall-clock rates plus an
+    overhead ratio (warn-only, like all wall-clock metrics).  Tracing
+    schedules no simulator events, so the traced run's deterministic
+    event/delivery counts must match the untraced run exactly; a mismatch
+    lands in the returned ``violations`` list and fails the gate.
     """
     perf = run_experiment("perf", scale=scale)
     metrics: Dict[str, float] = {}
+    violations: List[str] = []
     for scenario in perf["scenarios"]:
         cell = perf["results"][scenario]
         metrics[f"perf/{scenario}_sim_events_ops"] = cell["sim_events_per_sim_sec"]
@@ -100,7 +108,34 @@ def collect_perf_metrics(scale: str = "smoke") -> Dict:
         # them with a note instead of failing on runner jitter.
         metrics[f"perf/{scenario}_wall_events_per_sec"] = cell["events_per_wall_sec"]
         metrics[f"perf/{scenario}_wall_deliveries_per_sec"] = cell["deliveries_per_wall_sec"]
-    return {"scale": scale, "metrics": metrics}
+    if obs_overhead:
+        from repro.bench.perf import _run_scenario
+
+        for scenario in perf["scenarios"]:
+            base = perf["results"][scenario]
+            traced = _run_scenario(
+                scenario,
+                duration=base["sim_duration_s"],
+                threads=perf["threads"],
+                tracing=True,
+            )
+            metrics[f"perf/{scenario}_obs_wall_events_per_sec"] = traced[
+                "events_per_wall_sec"
+            ]
+            if traced["events_per_wall_sec"] > 0:
+                metrics[f"perf/{scenario}_obs_overhead_x"] = (
+                    base["events_per_wall_sec"] / traced["events_per_wall_sec"]
+                )
+            if traced["events"] != base["events"] or traced["deliveries"] != base["deliveries"]:
+                violations.append(
+                    f"perf/{scenario}: tracing changed deterministic counts "
+                    f"(events {base['events']} -> {traced['events']}, "
+                    f"deliveries {base['deliveries']} -> {traced['deliveries']})"
+                )
+    result = {"scale": scale, "metrics": metrics}
+    if violations:
+        result["violations"] = violations
+    return result
 
 
 #: Gate suites: (collector, default baseline path, default output path).
@@ -189,6 +224,14 @@ def main(argv=None) -> int:
         help="write the collected metrics to the baseline file and exit green",
     )
     parser.add_argument(
+        "--obs-overhead", action="store_true",
+        help=(
+            "perf suite only: re-run each scenario with causal tracing at "
+            "default sampling, report the wall-clock overhead (warn-only) "
+            "and fail if tracing changes deterministic event counts"
+        ),
+    )
+    parser.add_argument(
         "--missing-baseline", choices=("fail", "skip"), default="fail",
         help=(
             "what to do when the baseline is missing or was recorded at a "
@@ -204,11 +247,23 @@ def main(argv=None) -> int:
     if args.output is None:
         args.output = default_output
 
-    current = collector(scale=args.scale)
+    if args.obs_overhead and args.suite != "perf":
+        parser.error("--obs-overhead only applies to --suite perf")
+    if args.suite == "perf":
+        current = collector(scale=args.scale, obs_overhead=args.obs_overhead)
+    else:
+        current = collector(scale=args.scale)
     args.output.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     for name, value in sorted(current["metrics"].items()):
         print(f"  {name} = {value:.2f}")
+
+    violations = current.get("violations", [])
+    if violations:
+        for message in violations:
+            print(f"::error title=observability determinism::{message}")
+        print(f"FAIL: {len(violations)} observability determinism violation(s)")
+        return 1
 
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)

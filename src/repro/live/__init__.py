@@ -17,10 +17,12 @@ The run double-checks the paper's safety contract end to end:
 from __future__ import annotations
 
 import asyncio
+import json
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import MultiRingConfig
+from repro.obs.metrics import merge_snapshots
 from repro.runtime.interfaces import StorageMode
 from repro.runtime.live import LiveDeployment, LiveRingSpec
 from repro.services.dlog.state import DLogStateMachine
@@ -32,6 +34,27 @@ GROUP = "dlog-log-0"
 LOG = "log-0"
 
 
+async def _http_get(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Tuple[int, str]:
+    """Minimal HTTP/1.0 GET against a node's introspection listener."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0]
+    status = int(status_line.split(b" ", 2)[1])
+    return status, body.decode("utf-8", errors="replace")
+
+
 async def run_live_dlog(
     nodes: int = 3,
     values: int = 300,
@@ -41,6 +64,10 @@ async def run_live_dlog(
     storage_dir: Optional[str] = None,
     timeout: float = 60.0,
     seed: int = 0,
+    tracing: bool = True,
+    trace_sample: int = 64,
+    serve_http: bool = True,
+    trace_log: Optional[str] = None,
 ) -> Dict:
     """Run the live dLog deployment and return the result/metrics dictionary.
 
@@ -48,6 +75,12 @@ async def run_live_dlog(
     ``window`` client threads).  ``storage`` selects the acceptor log mode:
     ``memory`` or any :class:`StorageMode` value; durable modes append to
     real files under ``storage_dir``.
+
+    Observability: ``tracing`` samples causal traces (every
+    ``trace_sample``-th proposed value), ``serve_http`` starts the per-node
+    ``/metrics`` + ``/healthz`` listeners (scraped once at the end of the run
+    as a self-check), and ``trace_log`` dumps all sampled spans to a JSONL
+    file renderable with ``python -m repro.obs.report``.
     """
     if nodes < 1:
         raise ValueError("the live deployment needs at least one node")
@@ -69,6 +102,9 @@ async def run_live_dlog(
         seed=seed,
         storage_dir=storage_dir,
         record_deliveries=False,
+        tracing=tracing,
+        trace_sample=trace_sample,
+        serve_http=serve_http,
     )
 
     loop = asyncio.get_running_loop()
@@ -139,6 +175,38 @@ async def run_live_dlog(
             live.runtime.network.wire_bytes_sent for live in deployment.nodes.values()
         )
 
+        # ------------------------------------------------------------------
+        # observability: scrape each node's live endpoints (self-check),
+        # gather spans from every node-local tracer, snapshot the registries.
+        # ------------------------------------------------------------------
+        endpoints: Dict[str, Dict[str, object]] = {}
+        if serve_http:
+            for name in names:
+                live = deployment.node(name)
+                if live.obs_address is None:
+                    continue
+                host, port = live.obs_address
+                health_status, health_body = await _http_get(host, port, "/healthz")
+                metrics_status, metrics_body = await _http_get(host, port, "/metrics")
+                endpoints[name] = {
+                    "address": f"{host}:{port}",
+                    "healthz_status": health_status,
+                    "healthz_ok": health_status == 200
+                    and json.loads(health_body).get("status") == "ok",
+                    "metrics_status": metrics_status,
+                    "metrics_samples": sum(
+                        1
+                        for line in metrics_body.splitlines()
+                        if line and not line.startswith("#")
+                    ),
+                }
+        spans: List[Dict[str, object]] = []
+        snapshots: Dict[str, Dict[str, object]] = {}
+        for name in names:
+            runtime = deployment.node(name).runtime
+            spans.extend(runtime.obs.tracer.as_dicts())
+            snapshots[name] = runtime.obs.snapshot()
+
     # ------------------------------------------------------------------
     # invariants
     # ------------------------------------------------------------------
@@ -150,13 +218,25 @@ async def run_live_dlog(
     total_lost = sum(len(missing) for missing in lost_acked.values())
     positions = {name: machines[name].next_position(LOG) for name in names}
     state_identical = len(set(positions.values())) == 1
+    endpoints_ok = all(
+        entry["healthz_ok"] and entry["metrics_status"] == 200
+        for entry in endpoints.values()
+    )
     passed = (
         identical
         and total_lost == 0
         and state_identical
         and len(acked) == values
         and len(reference) == values
+        and endpoints_ok
     )
+
+    if trace_log is not None:
+        with open(trace_log, "w", encoding="utf-8") as handle:
+            for span in sorted(spans, key=lambda s: (s["trace_id"], s["start"])):
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+    trace_ids = sorted({span["trace_id"] for span in spans})
+    stages_seen = sorted({span["stage"] for span in spans})
 
     throughput = len(acked) / acked_seconds if acked_seconds > 0 else 0.0
     report_lines = [
@@ -167,8 +247,20 @@ async def run_live_dlog(
         f"  delivery sequences:      {'identical' if identical else 'DIVERGED'} across {nodes} learners",
         f"  lost acked writes:       {total_lost}",
         f"  dLog tail positions:     {sorted(set(positions.values()))}",
-        f"  verdict:                 {'PASS' if passed else 'FAIL'}",
     ]
+    if serve_http:
+        report_lines.append(
+            f"  /metrics + /healthz:     {'OK' if endpoints_ok else 'FAIL'}"
+            f" across {len(endpoints)} nodes"
+        )
+    if tracing:
+        report_lines.append(
+            f"  causal traces:           {len(trace_ids)} traces, {len(spans)} spans"
+            f" (stages: {', '.join(stages_seen) if stages_seen else 'none'})"
+        )
+        if trace_log is not None:
+            report_lines.append(f"  trace log:               {trace_log}")
+    report_lines.append(f"  verdict:                 {'PASS' if passed else 'FAIL'}")
     return {
         "experiment": "live",
         "backend": "live",
@@ -190,6 +282,15 @@ async def run_live_dlog(
             "sequences_identical": identical,
             "state_identical": state_identical,
             "tail_positions": positions,
+        },
+        "observability": {
+            **merge_snapshots(snapshots),
+            "endpoints": endpoints,
+            "endpoints_ok": endpoints_ok,
+            "trace_ids": trace_ids,
+            "stages_seen": stages_seen,
+            "span_count": len(spans),
+            "trace_log": trace_log,
         },
         "passed": passed,
         "report": "\n".join(report_lines),

@@ -58,6 +58,28 @@ def main(argv=None) -> int:
         default=Path("BENCH_live.json"),
         help="result file (default BENCH_live.json)",
     )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable sampled causal tracing",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=64,
+        help="sample every Nth proposed value (default 64; 1 = every value)",
+    )
+    parser.add_argument(
+        "--no-http",
+        action="store_true",
+        help="do not serve per-node /metrics + /healthz listeners",
+    )
+    parser.add_argument(
+        "--trace-log",
+        type=Path,
+        default=Path("BENCH_live_trace.jsonl"),
+        help="span JSONL for `python -m repro.obs.report` (default BENCH_live_trace.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     if args.storage != "memory" and args.storage_dir is None:
@@ -65,6 +87,7 @@ def main(argv=None) -> int:
     if args.smoke:
         args.nodes, args.values = 3, 300
 
+    tracing = not args.no_tracing
     result = run_live(
         nodes=args.nodes,
         values=args.values,
@@ -74,6 +97,10 @@ def main(argv=None) -> int:
         storage_dir=args.storage_dir,
         timeout=args.timeout,
         seed=args.seed,
+        tracing=tracing,
+        trace_sample=args.trace_sample,
+        serve_http=not args.no_http,
+        trace_log=str(args.trace_log) if tracing else None,
     )
     print(result["report"])
     args.json.write_text(json.dumps(result, indent=2, sort_keys=True, default=str) + "\n")

@@ -200,12 +200,42 @@ class MultiRingNode(RingHost):
             self._on_control_delivery(delivery)
             return
         self.deliveries_count += 1
+        trace_id = delivery.value.trace
+        if trace_id is not None and self._tracer.enabled:
+            self._trace_delivery(trace_id, delivery)
+            return
         for callback in self._delivery_callbacks:
             callback(delivery)
         group_callbacks = self._group_delivery_callbacks.get(delivery.group)
         if group_callbacks is not None:
             for callback in group_callbacks:
                 callback(delivery)
+
+    def _trace_delivery(self, trace_id: str, delivery: Delivery) -> None:
+        """Close the merge-wait span, then run the callbacks inside ``apply``.
+
+        The apply span is zero-width under the simulator (callbacks cannot
+        advance simulated time synchronously) but measures real execution
+        time on the live backend, where ``now`` tracks the wall clock.
+        """
+        tracer = self._tracer
+        released_at = self._sim._now
+        learned_at = tracer.take_mark(trace_id, f"merge:{self.name}")
+        if learned_at is not None:
+            tracer.record(
+                trace_id, "merge-wait", self.name, learned_at, released_at,
+                group=delivery.group, instance=delivery.instance,
+            )
+        for callback in self._delivery_callbacks:
+            callback(delivery)
+        group_callbacks = self._group_delivery_callbacks.get(delivery.group)
+        if group_callbacks is not None:
+            for callback in group_callbacks:
+                callback(delivery)
+        tracer.record(
+            trace_id, "apply", self.name, released_at, self._sim._now,
+            group=delivery.group, instance=delivery.instance,
+        )
 
     def _on_control_delivery(self, delivery: Delivery) -> None:
         """Handle a reconfiguration control command at its agreed position."""
@@ -260,6 +290,28 @@ class MultiRingNode(RingHost):
                 "max_inflight": role.max_inflight,
             }
         return stats
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _metric_samples(self):
+        samples = super()._metric_samples()
+        node = self.name
+        merge = self.merge
+        samples.append(("mrp_merge_deliveries_total", {"node": node}, merge.delivered_count))
+        samples.append(("mrp_merge_skips_total", {"node": node}, merge.skipped_count))
+        samples.append(("mrp_deliveries_total", {"node": node}, self.deliveries_count))
+        for group in self._subscribed:
+            # Cursor lag: decided-but-undelivered instances buffered behind
+            # the deterministic merge's round-robin cursor.
+            samples.append(
+                ("mrp_merge_cursor_lag", {"node": node, "group": group}, merge.pending(group))
+            )
+        for group, leveler in self._levelers.items():
+            samples.append(
+                ("mrp_skip_instances_total", {"node": node, "group": group}, leveler.total_skips)
+            )
+        return samples
 
     # ------------------------------------------------------------------
     # recovery hooks used by :mod:`repro.recovery`

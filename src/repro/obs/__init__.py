@@ -1,0 +1,92 @@
+"""Backend-agnostic observability: causal tracing, metrics, introspection.
+
+The layer has three pillars, each usable on the simulator **and** on the
+live asyncio/TCP backend:
+
+* :mod:`repro.obs.tracing` -- sampled per-value causal traces whose spans
+  decompose delivery latency into propose / phase2 / decide / merge-wait /
+  apply stages (the latency breakdown of the paper's figures).
+* :mod:`repro.obs.metrics` -- a pull-based metrics registry exporting
+  Prometheus text and JSON snapshots with zero hot-path overhead.
+* :mod:`repro.obs.http` -- a tiny asyncio HTTP listener serving
+  ``/metrics``, ``/healthz`` and ``/spans/<trace_id>`` per live node.
+
+Runtimes carry one :class:`Observability` bundle on their ``obs`` attribute;
+:func:`obs_of` fetches it, attaching a disabled default to runtimes built
+before this layer existed so instrumented code never needs a None check.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+)
+from repro.obs.stats import LatencyStats, ThroughputTimeline, percentile
+from repro.obs.tracing import Span, Tracer, STAGES
+
+__all__ = [
+    "Observability",
+    "obs_of",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "STAGES",
+    "LatencyStats",
+    "ThroughputTimeline",
+    "percentile",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+
+class Observability:
+    """One runtime's tracer + metrics registry, bundled.
+
+    A sim :class:`~repro.sim.world.World` owns one bundle shared by every
+    process (single-process runtime); each live node owns its own.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracing: bool = False,
+        trace_sample: int = 64,
+        labels: dict | None = None,
+    ) -> None:
+        self.tracer = Tracer(enabled=tracing, sample_interval=trace_sample)
+        self.metrics = MetricsRegistry(labels=labels)
+
+    def snapshot(self) -> dict:
+        """JSON-safe combined snapshot for BENCH_*.json sections."""
+        snap = self.metrics.snapshot()
+        snap["trace"] = {
+            "enabled": self.tracer.enabled,
+            "sample_interval": self.tracer.sample_interval,
+            "spans": len(self.tracer.spans),
+            "traces": len(self.tracer.trace_ids()),
+        }
+        return snap
+
+
+_DEFAULT_OBS = Observability()  # disabled fallback shared by legacy runtimes
+
+
+def obs_of(runtime) -> Observability:
+    """The runtime's observability bundle (a disabled default if absent)."""
+    obs = getattr(runtime, "obs", None)
+    if obs is None:
+        obs = Observability()
+        try:
+            runtime.obs = obs
+        except (AttributeError, TypeError):
+            return _DEFAULT_OBS
+    return obs

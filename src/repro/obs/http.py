@@ -1,0 +1,113 @@
+"""A tiny asyncio HTTP/1.0 listener exposing one node's observability.
+
+Dependency-free on purpose (the repro image carries no web framework):
+each connection reads one request line plus headers, serves one response
+and closes.  That is all ``curl``/Prometheus scraping needs.
+
+Routes:
+
+``GET /healthz``            ``{"status": "ok", "node": ..., "time": ...}``
+``GET /metrics``            Prometheus text exposition from the registry
+``GET /spans``              JSON list of known trace ids
+``GET /spans/<trace_id>``   JSON span list for one trace
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Optional, Tuple
+
+from repro.obs import Observability
+
+__all__ = ["ObsHTTPServer"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class ObsHTTPServer:
+    """Serves one node's :class:`Observability` bundle over localhost HTTP."""
+
+    def __init__(
+        self,
+        obs: Observability,
+        node: str,
+        now: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.obs = obs
+        self.node = node
+        self.now = now or (lambda: 0.0)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.requests_served = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if len(request) > _MAX_REQUEST_BYTES:
+                raise ValueError("request line too long")
+            # Drain headers until the blank line; we never need their values.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request.decode("latin-1").split()
+            method, path = (parts + ["", ""])[:2]
+            status, content_type, body = self._route(method, path)
+            self.requests_served += 1
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ValueError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    def _route(self, method: str, path: str) -> Tuple[str, str, bytes]:
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", b"only GET is supported\n"
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            body = json.dumps(
+                {"status": "ok", "node": self.node, "time": self.now()}
+            ).encode()
+            return "200 OK", "application/json", body
+        if path == "/metrics":
+            text = self.obs.metrics.render_prometheus()
+            return "200 OK", "text/plain; version=0.0.4", text.encode()
+        if path == "/spans":
+            body = json.dumps({"traces": self.obs.tracer.trace_ids()}).encode()
+            return "200 OK", "application/json", body
+        if path.startswith("/spans/"):
+            trace_id = path[len("/spans/") :]
+            spans = [span.as_dict() for span in self.obs.tracer.spans_for(trace_id)]
+            if not spans:
+                return "404 Not Found", "application/json", b'{"error": "unknown trace"}'
+            body = json.dumps({"trace_id": trace_id, "spans": spans}).encode()
+            return "200 OK", "application/json", body
+        return "404 Not Found", "text/plain", b"not found\n"

@@ -1,0 +1,154 @@
+"""Render span waterfalls and per-stage latency tables from trace logs.
+
+Usage::
+
+    python -m repro.obs.report BENCH_live_trace.jsonl
+    python -m repro.obs.report BENCH_live_trace.jsonl --trace n0-17 --width 72
+
+The input is one JSON span per line (as written by
+:meth:`repro.obs.tracing.Tracer.dump_jsonl`) or a JSON document with a
+top-level ``"spans"`` list.  Output is plain ASCII so it reads fine in CI
+logs and over SSH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.stats import LatencyStats
+from repro.obs.tracing import STAGES
+
+__all__ = ["load_spans", "render_waterfall", "render_stage_table", "main"]
+
+_STAGE_ORDER = {stage: index for index, stage in enumerate(STAGES)}
+
+
+def load_spans(path: str) -> List[Dict[str, object]]:
+    """Load spans from a JSONL trace log (or a JSON doc with a spans list)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    text = text.strip()
+    if not text:
+        return []
+    if text.startswith("{") and "\n{" not in text:
+        document = json.loads(text)
+        if isinstance(document, dict) and "spans" in document:
+            return list(document["spans"])
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+def _by_trace(spans: Iterable[Dict[str, object]]) -> Dict[str, List[Dict[str, object]]]:
+    grouped: Dict[str, List[Dict[str, object]]] = defaultdict(list)
+    for span in spans:
+        grouped[str(span.get("trace_id", "?"))].append(span)
+    return grouped
+
+
+def _sort_key(span: Dict[str, object]):
+    return (
+        float(span.get("start", 0.0)),
+        _STAGE_ORDER.get(str(span.get("stage", "")), len(STAGES)),
+    )
+
+
+def render_waterfall(trace_id: str, spans: Sequence[Dict[str, object]], width: int = 60) -> str:
+    """One trace's spans as an indented ASCII bar chart over a shared axis."""
+    ordered = sorted(spans, key=_sort_key)
+    t0 = min(float(s.get("start", 0.0)) for s in ordered)
+    t1 = max(float(s.get("end", 0.0)) for s in ordered)
+    span_of_time = max(t1 - t0, 1e-12)
+    scale = width / span_of_time
+    lines = [f"trace {trace_id}  (total {(t1 - t0) * 1e3:.3f} ms)"]
+    for span in ordered:
+        start = float(span.get("start", 0.0))
+        end = float(span.get("end", 0.0))
+        left = int((start - t0) * scale)
+        bar = max(1, int(round((end - start) * scale)))
+        label = f"{span.get('stage', '?'):<10} {span.get('node', '?'):<8}"
+        where = span.get("group")
+        if where is not None:
+            label += f" {where}"
+            if span.get("instance") is not None:
+                label += f"/{span['instance']}"
+        lines.append(
+            f"  {label:<24} |{' ' * left}{'#' * bar}"
+            f"  {(end - start) * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def render_stage_table(spans: Iterable[Dict[str, object]]) -> str:
+    """Per-stage latency percentile table over every span in the log."""
+    by_stage: Dict[str, List[float]] = defaultdict(list)
+    for span in spans:
+        duration = float(span.get("end", 0.0)) - float(span.get("start", 0.0))
+        by_stage[str(span.get("stage", "?"))].append(max(0.0, duration))
+    header = f"{'stage':<12} {'count':>6} {'mean':>9} {'p50':>9} {'p90':>9} {'p99':>9} {'max':>9}"
+    lines = [header, "-" * len(header)]
+    ordered_stages = sorted(by_stage, key=lambda s: _STAGE_ORDER.get(s, len(STAGES)))
+    for stage in ordered_stages:
+        stats = LatencyStats.from_samples(by_stage[stage])
+        lines.append(
+            f"{stage:<12} {stats.count:>6} "
+            f"{stats.mean * 1e3:>8.3f}m {stats.p50 * 1e3:>8.3f}m "
+            f"{stats.p90 * 1e3:>8.3f}m {stats.p99 * 1e3:>8.3f}m "
+            f"{stats.maximum * 1e3:>8.3f}m"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render span waterfalls and per-stage latency tables from a trace log.",
+    )
+    parser.add_argument("trace_log", help="span JSONL file (Tracer.dump_jsonl output)")
+    parser.add_argument("--trace", help="render only this trace id")
+    parser.add_argument(
+        "--limit", type=int, default=5, help="max waterfalls to render (default 5)"
+    )
+    parser.add_argument("--width", type=int, default=60, help="waterfall bar width")
+    parser.add_argument(
+        "--stages-only", action="store_true", help="print only the per-stage table"
+    )
+    args = parser.parse_args(argv)
+
+    spans = load_spans(args.trace_log)
+    if not spans:
+        print(f"no spans found in {args.trace_log}", file=sys.stderr)
+        return 1
+    grouped = _by_trace(spans)
+
+    if args.trace is not None:
+        if args.trace not in grouped:
+            print(f"unknown trace id {args.trace!r}", file=sys.stderr)
+            return 1
+        selected = {args.trace: grouped[args.trace]}
+    else:
+        selected = grouped
+
+    if not args.stages_only:
+        # Prefer complete traces (those covering the most stages) first.
+        ranked = sorted(
+            selected.items(),
+            key=lambda item: (-len({s.get("stage") for s in item[1]}), item[0]),
+        )
+        for trace_id, trace_spans in ranked[: max(0, args.limit)]:
+            print(render_waterfall(trace_id, trace_spans, width=args.width))
+            print()
+    print(render_stage_table(spans))
+    print(f"\n{len(spans)} spans across {len(grouped)} traces from {args.trace_log}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Statistics primitives shared by the observability layer and the benches.
+
+These used to live in :mod:`repro.sim.monitor`; they are backend-neutral
+(pure functions of recorded samples) so they now live here, next to the
+metrics registry and tracer that consume them.  ``repro.sim.monitor``
+re-exports them for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["LatencyStats", "ThroughputTimeline", "percentile"]
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50),
+            p90=percentile(ordered, 0.90),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+    def as_millis(self) -> Dict[str, float]:
+        """Return the statistics converted to milliseconds (for reports)."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.p50 * 1e3,
+            "p90_ms": self.p90 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "min_ms": self.minimum * 1e3,
+            "max_ms": self.maximum * 1e3,
+        }
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already *sorted* sequence."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lower = int(math.floor(pos))
+    upper = int(math.ceil(pos))
+    if lower == upper:
+        return ordered[lower]
+    frac = pos - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+class ThroughputTimeline:
+    """Operation completions bucketed into fixed-width time windows.
+
+    Used for Figure 8 (throughput over runtime during a recovery) and for
+    steady-state throughput computations that exclude warm-up and cool-down.
+    """
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._ops: Dict[int, int] = defaultdict(int)
+        self._bytes: Dict[int, int] = defaultdict(int)
+
+    def record(self, time: float, size_bytes: int = 0) -> None:
+        bucket = int(time // self.window)
+        self._ops[bucket] += 1
+        self._bytes[bucket] += size_bytes
+
+    def buckets(self) -> List[Tuple[float, int, int]]:
+        """Return ``(window_start_time, ops, bytes)`` tuples in time order."""
+        if not self._ops:
+            return []
+        first = min(self._ops)
+        last = max(self._ops)
+        return [
+            (bucket * self.window, self._ops.get(bucket, 0), self._bytes.get(bucket, 0))
+            for bucket in range(first, last + 1)
+        ]
+
+    def ops_series(self) -> List[Tuple[float, float]]:
+        """Return ``(time, ops_per_second)`` points for plotting/reporting."""
+        return [(start, ops / self.window) for start, ops, _ in self.buckets()]
+
+    def total_ops(self) -> int:
+        return sum(self._ops.values())
+
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())

@@ -1,0 +1,152 @@
+"""Sampled causal tracing for multicast values.
+
+A *trace* follows one application value end to end: the client/proposer
+stamps a sampled :class:`~repro.types.Value` with a ``trace`` id, the id
+rides the wire inside Phase 2 and Decision messages (codec v2), and each
+protocol stage closes a :class:`Span` against the shared :class:`Tracer`:
+
+``propose``     value creation -> coordinator starts the instance
+``phase2``      Phase 2 circulation until a quorum of votes
+``decide``      decision circulation until a learner learns it
+``merge-wait``  learned -> released by the deterministic merge
+``apply``       merge delivery -> application callbacks return
+
+Sampling is deterministic (every ``sample_interval``-th proposed value), so
+sim runs with the same seed trace the same values.  When ``enabled`` is
+False every entry point is a cheap attribute check and **no** value is ever
+stamped -- the wire bytes and golden delivery traces are identical to a
+build without tracing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "STAGES"]
+
+#: Canonical stage order for waterfall rendering.
+STAGES: Tuple[str, ...] = ("propose", "phase2", "decide", "merge-wait", "apply")
+
+
+@dataclass(slots=True)
+class Span:
+    """One closed stage interval of a traced value on one node."""
+
+    trace_id: str
+    stage: str
+    node: str
+    start: float
+    end: float
+    group: Optional[str] = None
+    instance: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "stage": self.stage,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.group is not None:
+            record["group"] = self.group
+        if self.instance is not None:
+            record["instance"] = self.instance
+        return record
+
+
+class Tracer:
+    """Collects spans for sampled values; shared by every node of a runtime.
+
+    ``sample_interval=N`` traces every Nth non-skip proposed value (1 traces
+    everything, 0/disabled traces nothing).  Trace ids are
+    ``"<proposer>-<uid>"`` -- unique because value uids are, and readable in
+    logs.
+    """
+
+    __slots__ = ("enabled", "sample_interval", "spans", "_marks", "_proposed", "max_spans")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        sample_interval: int = 64,
+        max_spans: int = 100_000,
+    ) -> None:
+        self.enabled = enabled
+        self.sample_interval = max(0, int(sample_interval))
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        #: Open interval starts keyed by (trace_id, key) -- e.g. merge-wait
+        #: begins when a traced value is learned and ends at merge release.
+        self._marks: Dict[Tuple[str, str], float] = {}
+        self._proposed = 0
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, proposer: Optional[str], uid: int) -> Optional[str]:
+        """Return a trace id for this proposal if it is sampled, else None."""
+        if not self.enabled or self.sample_interval <= 0:
+            return None
+        self._proposed += 1
+        if self._proposed % self.sample_interval != 1 and self.sample_interval != 1:
+            return None
+        return f"{proposer or 'anon'}-{uid}"
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        trace_id: str,
+        stage: str,
+        node: str,
+        start: float,
+        end: float,
+        group: Optional[str] = None,
+        instance: Optional[int] = None,
+    ) -> None:
+        if len(self.spans) >= self.max_spans:
+            return
+        self.spans.append(Span(trace_id, stage, node, start, end, group, instance))
+
+    def mark(self, trace_id: str, key: str, time: float) -> None:
+        """Open an interval (kept until :meth:`take_mark` closes it)."""
+        self._marks.setdefault((trace_id, key), time)
+
+    def take_mark(self, trace_id: str, key: str) -> Optional[float]:
+        """Close an interval opened by :meth:`mark`; returns its start time."""
+        return self._marks.pop((trace_id, key), None)
+
+    # ------------------------------------------------------------------
+    # queries / export
+    # ------------------------------------------------------------------
+    def trace_ids(self) -> List[str]:
+        seen: List[str] = []
+        known = set()
+        for span in self.spans:
+            if span.trace_id not in known:
+                known.add(span.trace_id)
+                seen.append(span.trace_id)
+        return seen
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [span.as_dict() for span in self.spans]
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write one JSON object per span; returns the number written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self.spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._marks.clear()
+        self._proposed = 0

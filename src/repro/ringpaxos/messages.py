@@ -70,7 +70,9 @@ class Phase2(ProtocolMessage):
     ``instance`` is the first consensus instance covered; ``count`` is the
     number of consecutive instances (always 1 except for skip ranges).
     ``origin`` is the coordinator that created the message, used as the stop
-    condition for circulation.
+    condition for circulation.  ``started_at`` is stamped by the coordinator
+    when the instance starts, but only for traced values (see
+    :mod:`repro.obs.tracing`); ``None`` keeps the wire size unchanged.
     """
 
     group: GroupId
@@ -80,6 +82,7 @@ class Phase2(ProtocolMessage):
     value: Value
     votes: FrozenSet[str]
     origin: str
+    started_at: Optional[float] = None
 
     @property
     def size_bytes(self) -> int:
@@ -95,6 +98,8 @@ class Phase2(ProtocolMessage):
         )
         for vote in self.votes:
             total += utf8_len(vote)
+        if self.started_at is not None:
+            total += _INT_BYTES
         return total
 
 
@@ -104,7 +109,9 @@ class Decision(ProtocolMessage):
 
     The decision carries the value so that members that have not yet seen the
     corresponding ``Phase2`` (those downstream of the acceptor that gathered
-    the final vote) can still learn it.
+    the final vote) can still learn it.  ``started_at``/``decided_at`` are
+    trace timestamps (instance start and quorum completion), carried only for
+    traced values so untraced wire sizes are unchanged.
     """
 
     group: GroupId
@@ -112,10 +119,12 @@ class Decision(ProtocolMessage):
     count: int
     value: Value
     origin: str
+    started_at: Optional[float] = None
+    decided_at: Optional[float] = None
 
     @property
     def size_bytes(self) -> int:
-        return (
+        total = (
             HEADER_BYTES
             + utf8_len(self.group)
             + _INT_BYTES  # instance
@@ -123,6 +132,11 @@ class Decision(ProtocolMessage):
             + self.value.size_bytes
             + utf8_len(self.origin)
         )
+        if self.started_at is not None:
+            total += _INT_BYTES
+        if self.decided_at is not None:
+            total += _INT_BYTES
+        return total
 
 
 @dataclass(frozen=True, slots=True)

@@ -17,6 +17,7 @@ from repro.config import RingConfig
 from repro.coordination.registry import Registry
 from repro.errors import MulticastError, ProcessCrashedError
 from repro.net.ring import RingOverlay
+from repro.obs import obs_of
 from repro.ringpaxos.messages import (
     Decision,
     Phase2,
@@ -57,6 +58,12 @@ class RingHost(Process):
         # Hot-path bindings: both are per-world singletons.
         self._sim = world.sim
         self._network = world.network
+        # Observability: the tracer is bound directly (its ``enabled`` check
+        # guards every tracing touch point), the metrics registry only sees
+        # this host through a pull-collector read at snapshot time.
+        self.obs = obs_of(world)
+        self._tracer = self.obs.tracer
+        self.obs.metrics.add_collector(self._metric_samples)
         self.roles: Dict[GroupId, RingRole] = {}
         self._decision_sinks: List[DecisionSink] = []
         self._handlers: Dict[type, List[Callable[[str, object], None]]] = {}
@@ -102,11 +109,17 @@ class RingHost(Process):
         value = Value.create(
             payload, size_bytes, proposer=self.name, created_at=self._sim._now
         )
+        tracer = self._tracer
+        if tracer.enabled:
+            value.trace = tracer.sample(value.proposer, value.uid)
         self.role(group).propose(value)
         return value
 
     def propose_value(self, group: GroupId, value: Value) -> Value:
         """Broadcast an already-created value (used by batching proxies)."""
+        tracer = self._tracer
+        if tracer.enabled and value.trace is None and not value.is_skip:
+            value.trace = tracer.sample(value.proposer, value.uid)
         self.role(group).propose(value)
         return value
 
@@ -263,3 +276,40 @@ class RingHost(Process):
     def cpu_utilization_percent(self, start: float, end: float) -> float:
         """Convenience for the Figure 3 coordinator-CPU metric."""
         return self.cpu.utilization_percent(start, end)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _metric_samples(self):
+        """Pull-collector for the metrics registry (snapshot time only).
+
+        Reads the plain counters the hot paths already maintain; nothing here
+        runs during protocol execution.  Subclasses extend the sample list.
+        """
+        node = self.name
+        samples = [
+            ("mrp_messages_sent_total", {"node": node}, self.messages_sent),
+            ("mrp_cpu_busy_seconds_total", {"node": node}, self.cpu._busy_time),
+        ]
+        for group, role in self.roles.items():
+            labels = {"node": node, "group": group}
+            samples.append(("mrp_instances_started_total", labels, role.next_instance))
+            samples.append(("mrp_values_proposed_total", labels, role.values_proposed))
+            samples.append(("mrp_skips_proposed_total", labels, role.skips_proposed))
+            samples.append(("mrp_decisions_learned_total", labels, role.decisions_learned))
+            samples.append(("mrp_skips_learned_total", labels, role.skips_learned))
+            samples.append(("mrp_repairs_proposed_total", labels, role.repairs_proposed))
+            samples.append(("mrp_repair_gap_requests_total", labels, role.gap_requests))
+            samples.append(
+                ("mrp_repair_instances_recovered_total", labels, role.gap_instances_recovered)
+            )
+            samples.append(("mrp_window_stalls_total", labels, role.window_stalls))
+            samples.append(("mrp_inflight_instances", labels, role.inflight_instances))
+            if role.batcher is not None:
+                samples.append(
+                    ("mrp_batch_values_offered_total", labels, role.batcher.values_offered)
+                )
+                samples.append(
+                    ("mrp_batches_flushed_total", labels, role.batcher.batches_flushed)
+                )
+        return samples

@@ -38,7 +38,7 @@ from repro.ringpaxos.messages import (
     RetransmitRequest,
 )
 from repro.runtime.interfaces import StableStore, StorageMode
-from repro.types import GroupId, InstanceId, Value, skip_value
+from repro.types import GroupId, InstanceId, Value, skip_value, unpack_value
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.coordination.registry import RingDescriptor
@@ -151,6 +151,11 @@ class RingRole:
             RetransmitRequest: self._on_retransmit_request,
         }
 
+        # Causal tracing: bound once; every touch point is guarded by the
+        # tracer's ``enabled`` flag so the disabled fast path is one
+        # attribute load + branch.
+        self._tracer = host.obs.tracer
+
         # Statistics.
         self.values_proposed = 0
         self.skips_proposed = 0
@@ -260,6 +265,9 @@ class RingRole:
         else:
             self.values_proposed += 1
             self.proposals_since_level += 1
+        started_at = None
+        if self._tracer.enabled and not value.is_skip:
+            started_at = self._trace_instance_start(value, instance)
         message = Phase2(
             group=self.group,
             instance=instance,
@@ -268,10 +276,30 @@ class RingRole:
             value=value,
             votes=frozenset([self.name]),
             origin=self.name,
+            started_at=started_at,
         )
         # The coordinator is an acceptor: it logs its own vote before the
         # message leaves (Section 5.1).
         self._log_vote(message, self._after_vote, message)
+
+    def _trace_instance_start(self, value: Value, instance: InstanceId):
+        """Close the ``propose`` span for each traced value entering Phase 2.
+
+        Returns the Phase 2 start timestamp when the instance carries at
+        least one traced value (so the message gets stamped), else ``None``
+        (so the wire bytes stay identical to an untraced build).
+        """
+        tracer = self._tracer
+        now = self.host._sim._now
+        traced = False
+        for inner in unpack_value(value):
+            if inner.trace is not None:
+                traced = True
+                tracer.record(
+                    inner.trace, "propose", self.name, inner.created_at, now,
+                    group=self.group, instance=instance,
+                )
+        return now if traced else None
 
     # ------------------------------------------------------------------
     # message handling
@@ -300,6 +328,7 @@ class RingRole:
                     value=msg.value,
                     votes=msg.votes | {self.name},
                     origin=msg.origin,
+                    started_at=msg.started_at,
                 )
                 self.host.after_cpu(msg.value.size_bytes, self._vote, updated)
                 return
@@ -313,14 +342,26 @@ class RingRole:
 
     def _after_vote(self, msg: Phase2) -> None:
         if len(msg.votes) >= self.quorum:
+            decided_at = None
+            if msg.started_at is not None and self._tracer.enabled:
+                decided_at = self.host._sim._now
+                tracer = self._tracer
+                for inner in unpack_value(msg.value):
+                    if inner.trace is not None:
+                        tracer.record(
+                            inner.trace, "phase2", self.name, msg.started_at,
+                            decided_at, group=self.group, instance=msg.instance,
+                        )
             decision = Decision(
                 group=msg.group,
                 instance=msg.instance,
                 count=msg.count,
                 value=msg.value,
                 origin=self.name,
+                started_at=msg.started_at,
+                decided_at=decided_at,
             )
-            self._learn(msg.instance, msg.count, msg.value)
+            self._learn(msg.instance, msg.count, msg.value, decided_at=decided_at)
             self._mark_decided_range(msg.instance, msg.count)
             self._forward(decision, origin=self.name)
         else:
@@ -333,7 +374,7 @@ class RingRole:
     def _apply_decision(self, msg: Decision) -> None:
         if not self.host.alive:
             return
-        self._learn(msg.instance, msg.count, msg.value)
+        self._learn(msg.instance, msg.count, msg.value, decided_at=msg.decided_at)
         storage = self.storage
         if storage is not None and self.is_acceptor:
             # Acceptors downstream of the decision never cast a vote; they
@@ -394,7 +435,13 @@ class RingRole:
         for offset in range(count):
             self.storage.mark_decided(first + offset)
 
-    def _learn(self, first: InstanceId, count: int, value: Value) -> None:
+    def _learn(
+        self,
+        first: InstanceId,
+        count: int,
+        value: Value,
+        decided_at: Optional[float] = None,
+    ) -> None:
         newly_learned = 0
         learned = self._learned
         if count == 1:
@@ -425,6 +472,8 @@ class RingRole:
                     self.decisions_learned += 1
                 if self.is_learner and instance >= self._next_delivery:
                     self._out_of_order[instance] = value
+        if newly_learned and not value.is_skip and self._tracer.enabled:
+            self._trace_learned(value, first, decided_at)
         self._release_in_order()
         if self.is_coordinator and newly_learned:
             self._inflight = max(0, self._inflight - newly_learned)
@@ -435,6 +484,27 @@ class RingRole:
             floor = self.highest_learned - 50000
             self._learned = {i for i in self._learned if i >= floor}
             self._injected = {i for i in self._injected if i >= self._next_delivery}
+
+    def _trace_learned(self, value: Value, instance: InstanceId, decided_at) -> None:
+        """Close ``decide`` spans and open the merge-wait interval.
+
+        Runs before :meth:`_release_in_order` so that the merge-wait mark
+        exists by the time the merge (synchronously) releases the value.
+        """
+        tracer = self._tracer
+        now = self.host._sim._now
+        learner = self.is_learner
+        for inner in unpack_value(value):
+            trace_id = inner.trace
+            if trace_id is None:
+                continue
+            if decided_at is not None:
+                tracer.record(
+                    trace_id, "decide", self.name, decided_at, now,
+                    group=self.group, instance=instance,
+                )
+            if learner:
+                tracer.mark(trace_id, f"merge:{self.name}", now)
 
     def _release_in_order(self) -> None:
         """Release buffered decisions in instance order (pipelining keeps

@@ -50,7 +50,9 @@ __all__ = [
 ]
 
 #: Bump when the encoding of any registered type changes incompatibly.
-CODEC_VERSION = 1
+#: v2: ``Value`` gained a ``trace`` field and ``Phase2``/``Decision`` gained
+#: optional trace timestamps (causal tracing, :mod:`repro.obs`).
+CODEC_VERSION = 2
 
 #: Refuse to parse frames beyond this size (corrupt length prefix guard).
 MAX_FRAME_BYTES = 64 * 1024 * 1024

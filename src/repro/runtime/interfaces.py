@@ -163,6 +163,11 @@ class Runtime(Protocol):
     transport (``.network``), the metric monitor, deterministic random
     streams and the trace buffer, plus the process registry and the
     spawn/crash hooks the failure machinery uses.
+
+    Runtimes may additionally carry an ``obs`` attribute -- the
+    :class:`repro.obs.Observability` bundle (causal tracer + metrics
+    registry).  It is deliberately not required here: legacy runtimes get a
+    disabled default through :func:`repro.obs.obs_of`.
     """
 
     # Backends expose their Clock as `.sim` and Transport as `.network`.

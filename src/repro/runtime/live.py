@@ -39,6 +39,7 @@ import asyncio
 import heapq
 import os
 import sys
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -47,6 +48,9 @@ from repro.config import MultiRingConfig, RingConfig
 from repro.coordination.registry import Registry
 from repro.errors import ConfigurationError, NetworkError
 from repro.multiring.node import MultiRingNode
+from repro.obs import Observability
+from repro.obs.http import ObsHTTPServer
+from repro.obs.metrics import Histogram
 from repro.runtime.codec import frame_message, iter_frames
 from repro.runtime.cpu import CPUConfig
 from repro.runtime.interfaces import StorageMode
@@ -336,13 +340,22 @@ class LiveFileStore:
     and accounting, with content-level recovery left as an open item.
     """
 
-    __slots__ = ("sim", "path", "_file", "_fsync", "bytes_written", "ops")
+    __slots__ = ("sim", "path", "_file", "_fsync", "_fsync_hist", "bytes_written", "ops")
 
-    def __init__(self, clock: LiveClock, path: str, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        clock: LiveClock,
+        path: str,
+        fsync: bool = True,
+        fsync_hist: Optional[Histogram] = None,
+    ) -> None:
         self.sim = clock
         self.path = path
         self._file = open(path, "ab")
         self._fsync = fsync
+        #: Optional fsync-latency histogram (off the protocol hot path: the
+        #: fsync syscall it times dwarfs the observation).
+        self._fsync_hist = fsync_hist
         self.bytes_written = 0
         self.ops = 0
 
@@ -351,7 +364,12 @@ class LiveFileStore:
             self._file.write(b"\x00" * nbytes)
         self._file.flush()
         if force and self._fsync:
-            os.fsync(self._file.fileno())
+            if self._fsync_hist is not None:
+                begin = time.perf_counter()
+                os.fsync(self._file.fileno())
+                self._fsync_hist.observe(time.perf_counter() - begin)
+            else:
+                os.fsync(self._file.fileno())
         self.bytes_written += nbytes
         self.ops += 1
         return self.sim.now
@@ -386,6 +404,8 @@ class LiveNodeRuntime:
         site: str = "local",
         seed: int = 0,
         storage_dir: Optional[str] = None,
+        tracing: bool = False,
+        trace_sample: int = 64,
     ) -> None:
         self.name = name
         self.sim = LiveClock()
@@ -393,6 +413,13 @@ class LiveNodeRuntime:
         self.monitor = Monitor()
         self.rng = RandomStreams(seed)
         self.trace = Trace(enabled=False)
+        # Per-node observability: each live node owns its tracer and metrics
+        # registry (nothing is shared between nodes, matching the eventual
+        # one-node-per-OS-process deployment).
+        self.obs = Observability(
+            tracing=tracing, trace_sample=trace_sample, labels={"node": name}
+        )
+        self.obs.metrics.add_collector(self._transport_samples)
         self.default_site = site
         self.storage_dir = storage_dir
         self._processes: Dict[str, Any] = {}
@@ -486,13 +513,37 @@ class LiveNodeRuntime:
         path = os.path.join(
             self.storage_dir, f"{self.name}-store-{len(self._stores)}.log"
         )
-        store = LiveFileStore(self.sim, path, fsync=mode.synchronous)
+        store = LiveFileStore(
+            self.sim,
+            path,
+            fsync=mode.synchronous,
+            fsync_hist=self.obs.metrics.histogram(
+                "mrp_fsync_latency_seconds", "Acceptor-log fsync latency"
+            ),
+        )
         self._stores.append(store)
         return store
 
     def close_stores(self) -> None:
         for store in self._stores:
             store.close()
+
+    # -- observability -----------------------------------------------------
+    def _transport_samples(self):
+        """Pull-collector: transport and store counters, read at snapshot time."""
+        network = self.network
+        samples = [
+            ("mrp_transport_messages_sent_total", network.messages_sent),
+            ("mrp_transport_messages_delivered_total", network.messages_delivered),
+            ("mrp_transport_messages_received_total", network.messages_received),
+            ("mrp_transport_messages_dropped_total", network.messages_dropped),
+            ("mrp_transport_bytes_sent_total", network.bytes_sent),
+            ("mrp_transport_frames_sent_total", network.frames_sent),
+            ("mrp_transport_wire_bytes_sent_total", network.wire_bytes_sent),
+            ("mrp_store_bytes_written_total", sum(s.bytes_written for s in self._stores)),
+            ("mrp_store_ops_total", sum(s.ops for s in self._stores)),
+        ]
+        return samples
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LiveNodeRuntime({self.name!r}, t={self.sim.now:.3f})"
@@ -530,6 +581,8 @@ class _LiveNode:
     address: Optional[Tuple[str, int]] = None
     pump_task: Optional[asyncio.Task] = None
     deliveries: List[Any] = field(default_factory=list)
+    obs_server: Optional[ObsHTTPServer] = None
+    obs_address: Optional[Tuple[str, int]] = None
 
 
 class LiveDeployment:
@@ -551,6 +604,9 @@ class LiveDeployment:
         seed: int = 0,
         storage_dir: Optional[str] = None,
         record_deliveries: bool = True,
+        tracing: bool = False,
+        trace_sample: int = 64,
+        serve_http: bool = False,
     ) -> None:
         if not rings:
             raise ConfigurationError("a live deployment needs at least one ring")
@@ -561,6 +617,11 @@ class LiveDeployment:
         self.seed = seed
         self.storage_dir = storage_dir
         self.record_deliveries = record_deliveries
+        self.tracing = tracing
+        self.trace_sample = trace_sample
+        #: When set, each node serves /metrics, /healthz and /spans/<id> on
+        #: an ephemeral localhost port (``node.obs_address``).
+        self.serve_http = serve_http
         self.nodes: Dict[str, _LiveNode] = {}
         self._started = False
 
@@ -589,7 +650,11 @@ class LiveDeployment:
 
         for name in self.node_names():
             runtime = LiveNodeRuntime(
-                name, seed=self.seed, storage_dir=self.storage_dir
+                name,
+                seed=self.seed,
+                storage_dir=self.storage_dir,
+                tracing=self.tracing,
+                trace_sample=self.trace_sample,
             )
             runtime.sim.attach(loop, epoch)
             registry = Registry()
@@ -623,6 +688,11 @@ class LiveDeployment:
             )
             live.server = server
             live.address = server.sockets[0].getsockname()[:2]
+            if self.serve_http:
+                live.obs_server = ObsHTTPServer(
+                    runtime.obs, name, now=lambda rt=runtime: rt.now
+                )
+                live.obs_address = await live.obs_server.start(self.host, 0)
             self.nodes[name] = live
 
         # Everyone knows everyone: process name -> hosting node's address.
@@ -643,6 +713,8 @@ class LiveDeployment:
         for live in self.nodes.values():
             if live.server is not None:
                 live.server.close()
+            if live.obs_server is not None:
+                await live.obs_server.close()
             await live.runtime.network.close()
         for live in self.nodes.values():
             live.runtime.sim.stop()

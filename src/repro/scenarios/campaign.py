@@ -104,16 +104,25 @@ class ComboResult:
     invariants: List[InvariantResult]
     metrics: Dict[str, float]
     events: List[str] = field(default_factory=list)
+    #: Timestamped fault-injection events from the metrics event log.
+    fault_timeline: List[Dict[str, object]] = field(default_factory=list)
+    #: Observability snapshot (metric state + sampled trace IDs), attached
+    #: when an invariant failed so the violation report carries the evidence.
+    observability: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        result: Dict[str, object] = {
             "scenario": self.scenario,
             "plan": self.plan,
             "passed": self.passed,
             "invariants": [result.as_dict() for result in self.invariants],
             "metrics": dict(self.metrics),
             "events": list(self.events),
+            "fault_timeline": list(self.fault_timeline),
         }
+        if self.observability is not None:
+            result["observability"] = self.observability
+        return result
 
 
 class CampaignRunner:
@@ -126,6 +135,8 @@ class CampaignRunner:
         settle: float = 3.0,
         seed: int = 42,
         trace_dir: Optional[str] = None,
+        tracing: bool = False,
+        trace_sample: int = 64,
     ) -> None:
         if not combos:
             raise ConfigurationError("a campaign needs at least one scenario × fault combo")
@@ -141,6 +152,8 @@ class CampaignRunner:
         self.settle = settle
         self.seed = seed
         self.trace_dir = trace_dir
+        self.tracing = tracing
+        self.trace_sample = trace_sample
 
     # ------------------------------------------------------------------
     def run(self) -> Dict:
@@ -180,6 +193,8 @@ class CampaignRunner:
             timeline_window=0.5,
             trace_enabled=True,
             default_site=preset.sites[0],
+            tracing=self.tracing,
+            trace_sample=self.trace_sample,
         )
         partition_sites = preset.partition_sites(scenario.partitions)
         store = MRPStore(
@@ -237,13 +252,22 @@ class CampaignRunner:
         events = [
             f"{action.time:.3f}s {action.label}" for action in injector.applied_actions
         ]
+        passed = all(check.passed for check in invariants)
+        observability: Optional[Dict[str, object]] = None
+        if not passed:
+            # Attach the evidence to the violation report: full metric
+            # snapshot plus the sampled causal trace IDs active in the run.
+            observability = world.obs.snapshot()
+            observability["trace_ids"] = world.obs.tracer.trace_ids()
         result = ComboResult(
             scenario=scenario.name,
             plan=plan.name,
-            passed=all(check.passed for check in invariants),
+            passed=passed,
             invariants=invariants,
             metrics=metrics,
             events=events,
+            fault_timeline=world.obs.metrics.events(),
+            observability=observability,
         )
         self._maybe_write_trace(world, scenario, plan)
         return result

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs import obs_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.world import World
@@ -107,6 +108,9 @@ class FailureInjector:
             callbacks = self._on_recover
         self.applied.append(event)
         self.world.trace.record(self.world.sim.now, "failure-injector", f"{event.action} {event.process}")
+        obs_of(self.world).metrics.record_event(
+            self.world.sim.now, f"fault/{event.action}", event.process
+        )
         for callback in callbacks:
             callback(event.process)
 
@@ -124,14 +128,17 @@ class FailureInjector:
     def _apply_callback(self, label: str, callback: Callable[[], None]) -> None:
         self.applied_actions.append(ChaosAction(self.world.sim.now, label))
         self.world.trace.record(self.world.sim.now, "failure-injector", label)
+        obs_of(self.world).metrics.record_event(self.world.sim.now, "fault/action", label)
         callback()
 
     def crash_now(self, process: str) -> None:
         """Immediately crash a process (outside of any schedule)."""
         self.world.process(process).crash()
         self.applied.append(FailureEvent(self.world.sim.now, "crash", process))
+        obs_of(self.world).metrics.record_event(self.world.sim.now, "fault/crash", process)
 
     def recover_now(self, process: str) -> None:
         """Immediately recover a process (outside of any schedule)."""
         self.world.process(process).recover()
         self.applied.append(FailureEvent(self.world.sim.now, "recover", process))
+        obs_of(self.world).metrics.record_event(self.world.sim.now, "fault/recover", process)

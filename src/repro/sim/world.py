@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError, NetworkError
+from repro.obs import Observability
 from repro.runtime.interfaces import StorageMode
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
@@ -41,6 +42,8 @@ class World:
         timeline_window: float = 1.0,
         trace_enabled: bool = False,
         default_site: Optional[str] = None,
+        tracing: bool = False,
+        trace_sample: int = 64,
     ) -> None:
         self.sim = Simulator()
         self.topology = topology or lan_topology()
@@ -48,6 +51,12 @@ class World:
         self.monitor = Monitor(timeline_window=timeline_window)
         self.rng = RandomStreams(seed)
         self.trace = Trace(enabled=trace_enabled)
+        # Observability bundle (causal tracing + metrics registry), shared by
+        # every process of this world.  ``tracing`` enables sampled causal
+        # traces (``trace_sample`` = every Nth proposed value); the metrics
+        # side is always available -- collectors cost nothing until snapshot.
+        self.obs = Observability(tracing=tracing, trace_sample=trace_sample)
+        self.obs.metrics.add_collector(self._world_metric_samples)
         self._processes: Dict[str, "Process"] = {}
         if default_site is None:
             default_site = self.topology.sites[0]
@@ -124,6 +133,26 @@ class World:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _world_metric_samples(self):
+        """Pull-collector for world-level counters (network, engine, monitor)."""
+        network = self.network
+        samples = [
+            ("mrp_network_messages_sent_total", network.messages_sent),
+            ("mrp_network_messages_delivered_total", network.messages_delivered),
+            ("mrp_network_messages_dropped_total", network.messages_dropped),
+            ("mrp_network_messages_blocked_total", network.messages_blocked),
+            ("mrp_sim_heap_compactions_total", self.sim.compactions),
+            ("mrp_sim_events_total", self.sim.processed_events),
+            ("mrp_sim_time_seconds", self.sim.now),
+        ]
+        for name, value in sorted(self.monitor.counters().items()):
+            label = "".join(c if c.isalnum() else "_" for c in name)
+            samples.append((f"mrp_monitor_{label}_total", value))
+        return samples
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"World(t={self.sim.now:.3f}, processes={len(self._processes)})"

@@ -134,6 +134,17 @@ class Replica(MultiRingNode):
             return commands
         return []  # not an SMR value (e.g. a dummy-service payload)
 
+    def _metric_samples(self):
+        samples = super()._metric_samples()
+        samples.append(
+            (
+                "mrp_commands_executed_total",
+                {"node": self.name, "partition": self.partition},
+                self.commands_executed,
+            )
+        )
+        return samples
+
     def _execute_command(self, command: Command, group: GroupId) -> None:
         if self.command_gate is not None and not self.command_gate(command, group):
             return

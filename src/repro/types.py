@@ -42,7 +42,9 @@ class Value:
 
     ``uid`` is globally unique, assigned at creation time.  ``is_skip`` marks
     the null values coordinators propose to skip consensus instances for rate
-    leveling (Section 4).  Slotted and non-frozen (values are the
+    leveling (Section 4).  ``trace`` is the sampled causal-trace id (see
+    :mod:`repro.obs.tracing`); ``None`` -- the overwhelmingly common case --
+    adds nothing to the wire.  Slotted and non-frozen (values are the
     most-created and most-touched objects in the whole simulator; the frozen
     ``object.__setattr__`` init cost is measurable), but treated as
     immutable everywhere -- nothing may mutate a value after creation.
@@ -54,6 +56,7 @@ class Value:
     proposer: Optional[str] = None
     created_at: float = 0.0
     is_skip: bool = False
+    trace: Optional[str] = None
 
     @classmethod
     def create(
@@ -62,6 +65,7 @@ class Value:
         size_bytes: int,
         proposer: Optional[str] = None,
         created_at: float = 0.0,
+        trace: Optional[str] = None,
     ) -> "Value":
         return cls(
             uid=next(_value_counter),
@@ -69,6 +73,7 @@ class Value:
             size_bytes=max(0, int(size_bytes)),
             proposer=proposer,
             created_at=created_at,
+            trace=trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

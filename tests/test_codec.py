@@ -212,7 +212,7 @@ def test_partial_frames_wait_for_more_bytes():
     messages = list(iter_frames(buffer))
     assert len(messages) == 1
     assert messages[0][:2] == ("a", "b")
-    assert len(buffer) == len(frame) - len(frame) // 2  # partial tail kept
+    assert len(buffer) == len(frame) // 2  # partial tail kept
 
 
 def test_version_mismatch_is_loud():

@@ -175,6 +175,65 @@ def test_live_dlog_smoke_zero_lost_acked_writes():
     # Every protocol hop crossed a real socket: with 3 nodes each Phase2 /
     # Decision circulation produces wire frames on every inter-node edge.
     assert metrics["wire_frames"] > 60
+    # The default run serves and self-scrapes /metrics + /healthz per node.
+    obs = result["observability"]
+    assert obs["endpoints_ok"], obs["endpoints"]
+    assert len(obs["endpoints"]) == 3
+
+
+def test_live_dlog_observability_end_to_end(tmp_path):
+    """Tracing + /metrics + /healthz over real TCP, waterfall renderable."""
+    trace_log = tmp_path / "trace.jsonl"
+    result = _run(
+        run_live_dlog(
+            nodes=3,
+            values=40,
+            window=8,
+            timeout=20.0,
+            tracing=True,
+            trace_sample=4,
+            serve_http=True,
+            trace_log=str(trace_log),
+        ),
+        timeout=60.0,
+    )
+    assert result["passed"], result["report"]
+    obs = result["observability"]
+    # Every node's endpoints answered 200 with real samples.
+    assert obs["endpoints_ok"]
+    for entry in obs["endpoints"].values():
+        assert entry["healthz_status"] == 200 and entry["healthz_ok"]
+        assert entry["metrics_status"] == 200
+        assert entry["metrics_samples"] > 0
+    # The sampled traces cover the full protocol path.
+    assert set(obs["stages_seen"]) == {
+        "propose", "phase2", "decide", "merge-wait", "apply",
+    }
+    assert obs["trace_ids"] and obs["span_count"] > 0
+    # Per-node snapshots carry the transport counters.
+    for snapshot in obs["nodes"].values():
+        assert snapshot["metrics"]["mrp_transport_messages_sent_total"] > 0
+    # The span log renders with the report CLI.
+    from repro.obs.report import main as report_main
+
+    assert report_main([str(trace_log), "--limit", "1"]) == 0
+
+
+def test_live_dlog_observability_can_be_disabled():
+    result = _run(
+        run_live_dlog(
+            nodes=3,
+            values=20,
+            window=8,
+            timeout=20.0,
+            tracing=False,
+            serve_http=False,
+        ),
+        timeout=60.0,
+    )
+    assert result["passed"], result["report"]
+    obs = result["observability"]
+    assert obs["endpoints"] == {} and obs["span_count"] == 0
 
 
 def test_live_dlog_smoke_with_file_storage(tmp_path):

@@ -1,20 +1,23 @@
-"""Public entry point: backend-agnostic atomic multicast deployments.
+"""Public entry point: backend- and engine-agnostic atomic multicast.
 
 :class:`AtomicMulticast` is the redesigned front door to the library.  It is
-a context-managed deployment builder that runs the same protocol stack on
-either backend:
+a context-managed deployment builder with two orthogonal choices:
 
-* ``backend="sim"`` -- the deterministic simulator (default): build rings
-  and services, drive virtual time with :meth:`AtomicMulticast.run` /
-  :meth:`~AtomicMulticast.run_for`, read metrics from the monitor;
-* ``backend="live"`` -- real execution: every node an asyncio task with its
-  own TCP server on localhost, every protocol message crossing a socket
-  through the versioned codec.  The facade runs the event loop on a
-  background thread so the synchronous API below works unchanged.
+* **backend** -- where the protocol runs: ``backend="sim"`` (default) is the
+  deterministic simulator; ``backend="live"`` runs every node as an asyncio
+  task with its own TCP server on localhost, every protocol message crossing
+  a socket through the versioned codec (the facade runs the event loop on a
+  background thread so the synchronous API below works unchanged).
+* **engine** -- *which protocol orders the messages*: ``engine="multiring"``
+  (default) is the paper's Multi-Ring Paxos; ``engine="whitebox"`` is
+  White-Box Atomic Multicast (genuine, no global rings).  Engines implement
+  the :class:`~repro.engines.base.OrderingEngine` seam and are resolved from
+  the :mod:`repro.engines` registry, so tests and downstream code can plug
+  in their own with :func:`repro.engines.register`.
 
 Core surface::
 
-    with AtomicMulticast(seed=1) as am:                  # sim backend
+    with AtomicMulticast(seed=1) as am:                  # sim + multiring
         am.ring("ring-1", acceptors=["a1", "a2", "a3"], learners=["L1", "L2"])
         future = am.submit("ring-1", "hello", size_bytes=1024)
         am.run_for(1.0)
@@ -22,14 +25,23 @@ Core surface::
         for d in am.deliveries("ring-1"):
             ...
 
+    with AtomicMulticast(engine="whitebox", seed=1) as am:   # same code
+        ...
+
     with AtomicMulticast(backend="live") as am:          # same code, real TCP
         ...
 
 ``submit(group, payload)`` returns a :class:`concurrent.futures.Future`
 resolved with the :class:`~repro.multiring.merge.Delivery` once the value is
 delivered at the group's witness learner (the ack the "zero lost acked
-writes" invariant counts).  ``deliveries(group)`` returns a stream that can
-be iterated synchronously or with ``async for``.
+writes" invariant counts).  ``multicast(groups, payload)`` addresses several
+groups atomically.  ``deliveries(group)`` returns a stream that can be
+iterated synchronously or with ``async for``.
+
+The live backend currently drives the Multi-Ring stack directly (its node
+set fixes the TCP topology before the loop starts); engines advertise
+:attr:`~repro.engines.base.OrderingEngine.supports_live` and the facade
+refuses unsupported combinations up front.
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ import asyncio
 import concurrent.futures
 import threading
 import time
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.config import MultiRingConfig, RingConfig
@@ -112,12 +125,19 @@ class DeliveryStream:
 
 
 class AtomicMulticast:
-    """Context-managed, backend-agnostic atomic multicast deployment."""
+    """Context-managed, backend- and engine-agnostic atomic multicast."""
+
+    #: How long :meth:`__enter__` waits for the live backend to come up.
+    #: A class attribute so tests can shrink it; a failed or timed-out
+    #: startup tears the loop thread down before raising -- the constructor
+    #: never leaks a running background thread.
+    _STARTUP_TIMEOUT = 30.0
 
     def __init__(
         self,
+        *args: str,
         backend: str = "sim",
-        *,
+        engine: str = "multiring",
         seed: int = 0,
         config: Optional[MultiRingConfig] = None,
         topology: Any = None,
@@ -127,19 +147,43 @@ class AtomicMulticast:
         host: str = "127.0.0.1",
         storage_dir: Optional[str] = None,
     ) -> None:
+        if args:
+            if len(args) > 1 or not isinstance(args[0], str):
+                raise TypeError(
+                    "AtomicMulticast() takes only keyword arguments "
+                    "(backend=..., engine=...)"
+                )
+            warnings.warn(
+                "passing the backend positionally is deprecated; "
+                'use AtomicMulticast(backend="sim"/"live", ...)',
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            backend = args[0]
         if backend not in _BACKENDS:
             raise ConfigurationError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+
+        from repro import engines as engine_registry
+
+        # Unknown engine names raise ConfigurationError listing the registry.
+        self.engine = engine_registry.create(engine)
+        self._engine_name = engine
+        if backend == "live" and not self.engine.supports_live:
+            raise ConfigurationError(
+                f"engine {engine!r} does not support the live backend; "
+                f"engines that do: "
+                f"{[n for n in engine_registry.available() if engine_registry.create(n).supports_live]}"
+            )
+
         self._backend = backend
         self.seed = seed
         self.config = config or MultiRingConfig.datacenter()
         self._streams: Dict[GroupId, DeliveryStream] = {}
         self._pending: Dict[int, concurrent.futures.Future] = {}
         self._witness_hooked: Dict[GroupId, str] = {}
-        self._proposer_rr: Dict[GroupId, int] = {}
         self._entered = False
 
         if backend == "sim":
-            from repro.multiring.deployment import Deployment
             from repro.sim.world import World
 
             self.world = World(
@@ -149,7 +193,7 @@ class AtomicMulticast:
                 trace_enabled=trace,
                 default_site=default_site,
             )
-            self.deployment = Deployment(self.world, self.config)
+            self.deployment = self.engine.build(self.world, self.config)
         else:
             if topology is not None or network_config is not None:
                 raise ConfigurationError(
@@ -162,8 +206,10 @@ class AtomicMulticast:
             self._storage_dir = storage_dir
             self._live_specs: List[Any] = []
             self._live = None
+            self._proposer_rr: Dict[GroupId, int] = {}
             self._loop: Optional[asyncio.AbstractEventLoop] = None
             self._thread: Optional[threading.Thread] = None
+            self._main_task: Optional["asyncio.Task"] = None
             self._ready = threading.Event()
             self._stop_event: Optional[asyncio.Event] = None
             self._startup_error: Optional[BaseException] = None
@@ -183,13 +229,16 @@ class AtomicMulticast:
         storage: StorageMode = StorageMode.MEMORY,
         sites: Optional[Dict[str, str]] = None,
         ring_config: Optional[RingConfig] = None,
+        multi_group_route: bool = False,
     ) -> None:
-        """Declare one ring (one multicast group).
+        """Declare one multicast group (historically named after the ring).
 
-        ``members`` defaults to ``acceptors + learners`` in that ring order;
-        ``proposers`` defaults to the acceptors.  On the live backend rings
-        must be declared before entering the context (the node set fixes the
-        TCP topology).
+        ``members`` defaults to ``acceptors + learners`` in that order;
+        ``proposers`` defaults to the acceptors.  ``multi_group_route`` marks
+        this group's ring as the route for multi-group messages on the
+        multiring engine (genuine engines ignore it).  On the live backend
+        rings must be declared before entering the context (the node set
+        fixes the TCP topology).
         """
         if members is None:
             if acceptors is None:
@@ -200,10 +249,15 @@ class AtomicMulticast:
         if proposers is None and acceptors is not None:
             proposers = list(acceptors)
         if self._backend == "sim":
-            from repro.multiring.deployment import RingSpec
+            from repro.engines.base import EngineSpec
 
-            self.deployment.add_ring(
-                RingSpec(
+            options: Dict[str, Any] = {}
+            if ring_config is not None:
+                options["ring_config"] = ring_config
+            if multi_group_route:
+                options["multi_group_route"] = True
+            self.engine.add_group(
+                EngineSpec(
                     group=group,
                     members=list(members),
                     acceptors=list(acceptors) if acceptors is not None else None,
@@ -211,9 +265,9 @@ class AtomicMulticast:
                     learners=list(learners) if learners is not None else None,
                     coordinator=coordinator,
                     storage_mode=storage,
-                ),
-                sites=sites,
-                ring_config=ring_config,
+                    sites=sites,
+                    options=options,
+                )
             )
         else:
             if self._entered:
@@ -282,33 +336,73 @@ class AtomicMulticast:
             target=self._live_thread_main, name="repro-live", daemon=True
         )
         self._thread.start()
-        self._ready.wait(timeout=30.0)
+        ready = self._ready.wait(timeout=self._STARTUP_TIMEOUT)
         if self._startup_error is not None:
+            self._abort_live()
             raise self._startup_error
-        if self._live is None:
-            raise ConfigurationError("live backend failed to start within 30s")
+        if not ready or self._live is None:
+            self._abort_live()
+            raise ConfigurationError(
+                f"live backend failed to start within {self._STARTUP_TIMEOUT:g}s"
+            )
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._backend == "sim":
             return
         if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
         if self._thread is not None:
-            self._thread.join(timeout=30.0)
+            self._thread.join(timeout=self._STARTUP_TIMEOUT)
+            if self._thread.is_alive():
+                # Graceful stop stalled (e.g. a wedged shutdown path): cancel
+                # the loop's main task rather than abandon the thread.
+                self._cancel_live_task()
+                self._thread.join(timeout=5.0)
+            self._thread = None
         for stream in self._streams.values():
             stream._close()
+
+    def _abort_live(self) -> None:
+        """Tear down a live loop thread after a failed startup.
+
+        Called before ``__enter__`` re-raises, so a constructor/startup
+        failure never leaks a running background thread: the main task is
+        cancelled (which unwinds a deployment wedged mid-``__aenter__``) and
+        the thread joined.
+        """
+        self._cancel_live_task()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def _cancel_live_task(self) -> None:
+        loop, task = self._loop, self._main_task
+        if loop is None or task is None:
+            return
+        try:
+            loop.call_soon_threadsafe(task.cancel)
+        except RuntimeError:
+            pass  # loop already closed
 
     def _live_thread_main(self) -> None:
         try:
             asyncio.run(self._live_main())
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
-            self._startup_error = exc
+            if self._startup_error is None:
+                self._startup_error = exc
             self._ready.set()
 
     async def _live_main(self) -> None:
         from repro.runtime.live import LiveDeployment
 
+        self._loop = asyncio.get_running_loop()
+        self._main_task = asyncio.current_task()
+        self._stop_event = asyncio.Event()
         deployment = LiveDeployment(
             self._live_specs,
             config=self.config,
@@ -317,8 +411,6 @@ class AtomicMulticast:
             storage_dir=self._storage_dir,
             record_deliveries=False,
         )
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
         async with deployment:
             self._live = deployment
             # Hook every ring's witness learner while on the loop thread.
@@ -332,7 +424,7 @@ class AtomicMulticast:
     # ------------------------------------------------------------------
     def _ring_descriptor(self, group: GroupId):
         if self._backend == "sim":
-            return self.deployment.ring(group)
+            return self.engine.descriptor(group)
         if self._live is None:
             raise ConfigurationError("enter the live context before submitting traffic")
         for live in self._live.nodes.values():
@@ -348,30 +440,30 @@ class AtomicMulticast:
 
     def _node(self, name: str):
         if self._backend == "sim":
-            return self.deployment.node(name)
+            return self.engine.node(name)
         return self._live.node(name).node
 
     def node(self, name: str):
-        """The protocol node object (a :class:`MultiRingNode`) named ``name``."""
+        """The engine's protocol node object named ``name``."""
         if self._backend == "live" and self._live is None:
             raise ConfigurationError("enter the context before accessing live nodes")
         return self._node(name)
 
     def coordinator_of(self, group: GroupId):
-        """The node currently coordinating ``group``'s ring."""
+        """The node currently coordinating (leading) ``group``."""
         return self.node(self._ring_descriptor(group).coordinator)
 
     def _hook_witness(self, group: GroupId) -> None:
         if group in self._witness_hooked:
             return
-        witness = self._witness_of(group)
-        if self._backend == "sim":
-            node = self.deployment.node(witness)
-        else:
-            node = self._live.node(witness).node
         stream = self._streams.setdefault(group, DeliveryStream(self, group))
-        node.on_deliver(lambda d: self._on_witness_delivery(stream, d), group=group)
-        self._witness_hooked[group] = witness
+        callback = lambda d: self._on_witness_delivery(stream, d)  # noqa: E731
+        if self._backend == "sim":
+            self._witness_hooked[group] = self.engine.on_deliver(group, callback)
+        else:
+            witness = self._witness_of(group)
+            self._live.node(witness).node.on_deliver(callback, group=group)
+            self._witness_hooked[group] = witness
 
     def _on_witness_delivery(self, stream: DeliveryStream, delivery) -> None:
         stream._push(delivery)
@@ -395,18 +487,16 @@ class AtomicMulticast:
 
             size_bytes = estimate_size(payload)
         self._hook_witness(group)
-        descriptor = self._ring_descriptor(group)
-        proposers = descriptor.proposers or descriptor.acceptors
-        index = self._proposer_rr.get(group, 0)
-        self._proposer_rr[group] = index + 1
-        proposer = proposers[index % len(proposers)]
-
         future: concurrent.futures.Future = concurrent.futures.Future()
         if self._backend == "sim":
-            node = self.deployment.node(proposer)
-            value = node.multicast(group, payload, size_bytes)
+            value = self.engine.submit(group, payload, size_bytes)
             self._pending[value.uid] = future
         else:
+            descriptor = self._ring_descriptor(group)
+            proposers = descriptor.proposers or descriptor.acceptors
+            index = self._proposer_rr.get(group, 0)
+            self._proposer_rr[group] = index + 1
+            proposer = proposers[index % len(proposers)]
             live = self._live.node(proposer)
             value = Value.create(
                 payload, size_bytes, proposer=proposer, created_at=live.runtime.now
@@ -415,6 +505,33 @@ class AtomicMulticast:
             self._loop.call_soon_threadsafe(
                 live.runtime.sim.post, live.node.propose_value, group, value
             )
+        return future
+
+    def multicast(
+        self,
+        groups: Sequence[GroupId],
+        payload: Any,
+        size_bytes: Optional[int] = None,
+    ) -> "concurrent.futures.Future":
+        """Atomically multicast ``payload`` to every group in ``groups``.
+
+        The future resolves at the first witness delivery (any destination);
+        per-group streams via :meth:`deliveries` see every delivery.  Only
+        the sim backend supports multi-group addressing today.
+        """
+        self._require_sim("multicast()")
+        dests = tuple(groups)
+        if not dests:
+            raise MulticastError("multicast() needs at least one destination group")
+        if size_bytes is None:
+            from repro.net.message import estimate_size
+
+            size_bytes = estimate_size(payload)
+        for group in dests:
+            self._hook_witness(group)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        value = self.engine.multicast(dests, payload, size_bytes)
+        self._pending[value.uid] = future
         return future
 
     def deliveries(self, group: GroupId) -> DeliveryStream:
@@ -456,10 +573,20 @@ class AtomicMulticast:
         return self._backend
 
     @property
+    def engine_name(self) -> str:
+        """The registered name of the ordering engine in use."""
+        return self._engine_name
+
+    def engine_stats(self) -> Dict[str, Any]:
+        """The ordering engine's counters (see :meth:`OrderingEngine.stats`)."""
+        self._require_sim("engine_stats()")
+        return self.engine.stats()
+
+    @property
     def monitor(self):
         """The metric monitor (sim backend)."""
         self._require_sim("monitor")
         return self.world.monitor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"AtomicMulticast(backend={self._backend!r})"
+        return f"AtomicMulticast(backend={self._backend!r}, engine={self._engine_name!r})"

@@ -25,9 +25,9 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import ConfigurationError
 from repro.net.message import ProtocolMessage
-from repro.sim.cpu import CPU, CPUConfig
+from repro.runtime.cpu import CPU, CPUConfig
 from repro.sim.disk import Disk, StorageMode, disk_for_mode
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.world import World
 from repro.smr.client import Request
 from repro.smr.command import Command, Response, SubmitCommand

@@ -12,9 +12,9 @@ from typing import Dict, List, Optional
 
 from repro.services.mrpstore.partitioning import PartitionMap
 from repro.services.mrpstore.state import MRPStoreStateMachine
-from repro.sim.cpu import CPU, CPUConfig
+from repro.runtime.cpu import CPU, CPUConfig
 from repro.sim.disk import Disk, StorageMode, disk_for_mode
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.world import World
 from repro.smr.client import Request
 from repro.smr.command import Command, Response, SubmitCommand

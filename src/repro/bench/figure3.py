@@ -16,7 +16,7 @@ from repro.bench.drivers import ClosedLoopProposerDriver
 from repro.bench.report import format_table
 from repro.config import MultiRingConfig, RingConfig
 from repro.multiring.deployment import Deployment, RingSpec
-from repro.sim.cpu import CPUConfig
+from repro.runtime.cpu import CPUConfig
 from repro.sim.disk import StorageMode
 from repro.sim.topology import lan_topology
 from repro.sim.world import World

@@ -22,6 +22,7 @@ from repro.bench.figure8 import run_figure8
 from repro.bench.live import run_live_bench
 from repro.bench.perf import run_perf
 from repro.bench.reconfig import run_reconfig
+from repro.bench.shootout import run_shootout
 
 __all__ = ["run_experiment", "EXPERIMENTS", "SCALES"]
 
@@ -206,6 +207,20 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 paper={"duration": 5.0},
             )
         )
+    if name == "shootout":
+        return run_shootout(
+            **_params(
+                scale,
+                # smoke covers one single-group and one multi-group scenario
+                # so CI still exercises the global-ring routing path.
+                smoke={
+                    "values_per_scenario": 120,
+                    "scenarios": ("single-uniform", "multi-zipf"),
+                },
+                quick={"values_per_scenario": 400},
+                paper={"values_per_scenario": 2000, "spacing": 1e-3},
+            )
+        )
     if name == "ablations":
         duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
         leveling = run_rate_leveling_ablation(duration=duration)
@@ -232,4 +247,5 @@ EXPERIMENTS = (
     "chaos",
     "perf",
     "live",
+    "shootout",
 )

@@ -28,7 +28,7 @@ from repro.coordination.reconfig import ReconfigController
 from repro.reconfig.elastic import migrations_installed, scale_out
 from repro.services.mrpstore import MRPStore
 from repro.sim.disk import StorageMode
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.topology import lan_topology
 from repro.sim.world import World
 from repro.smr.client import ClosedLoopClient

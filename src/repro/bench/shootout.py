@@ -1,0 +1,325 @@
+"""Cross-protocol shootout: Multi-Ring Paxos vs. White-Box Atomic Multicast.
+
+The paper argues that atomic multicast -- the *abstraction* -- is the right
+substrate for global systems, and evaluates one implementation of it.  The
+:class:`~repro.engines.base.OrderingEngine` seam makes that claim testable:
+this bench drives the Multi-Ring engine and the White-Box engine through the
+**identical** workload (same seed, same submission schedule, same destination
+sets, same topology) and compares what each protocol's design trades away.
+
+The axes swept:
+
+* **single-group vs. multi-group** -- Multi-Ring Paxos handles multi-group
+  messages by routing them through a designated ring whose learners span all
+  destinations, so every subscriber receives every multi-group message,
+  destinations or not (it is not *genuine*).  White-Box multicast only ever
+  involves a message's destination groups.  The bench counts deliveries at
+  non-destination learners for both engines: the whitebox engine must report
+  exactly zero (a ``passed=False`` violation otherwise), while the multiring
+  column quantifies the cost of the global ring.
+* **uniform vs. Zipf-skewed group choice** -- skew concentrates load on one
+  group's coordinator/leader; both protocols serialize per group, so the
+  comparison shows whether either degrades disproportionately under skew.
+
+Reported per (scenario, engine): delivery-latency percentiles measured at
+each destination group's witness learner (simulated seconds from
+``Value.created_at`` to delivery), protocol messages sent, learner
+deliveries, and the non-destination delivery count.  Raw results land in
+``BENCH_shootout.json`` for CI artifact upload.
+
+The workload schedule is generated once per scenario from the scenario seed
+and replayed into every engine, so any latency difference is attributable to
+the protocol, not the traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import engines as engine_registry
+from repro.bench.report import format_table
+from repro.config import MultiRingConfig
+from repro.engines.base import EngineSpec
+from repro.obs.stats import LatencyStats
+from repro.sim.topology import lan_topology
+from repro.sim.world import World
+from repro.types import GroupId
+from repro.workloads.distributions import UniformChooser, ZipfianChooser
+
+__all__ = ["run_shootout", "SHOOTOUT_SCENARIOS", "SHOOTOUT_ENGINES"]
+
+#: Scenario names, in report order: destination-spread x group-choice skew.
+SHOOTOUT_SCENARIOS = ("single-uniform", "single-zipf", "multi-uniform", "multi-zipf")
+
+#: Engines compared, in report order.
+SHOOTOUT_ENGINES = ("multiring", "whitebox")
+
+#: Ring/group id carrying multi-group traffic for the Multi-Ring engine.
+_GLOBAL_GROUP: GroupId = "global"
+
+_VALUE_SIZE = 512
+
+
+def _scenario_axes(scenario: str) -> Tuple[bool, str]:
+    """Split a scenario name into (has multi-group traffic, skew kind)."""
+    try:
+        spread, skew = scenario.split("-")
+    except ValueError:
+        spread, skew = "", ""
+    if spread not in ("single", "multi") or skew not in ("uniform", "zipf"):
+        raise ValueError(
+            f"unknown shootout scenario {scenario!r}; expected one of {SHOOTOUT_SCENARIOS}"
+        )
+    return spread == "multi", skew
+
+
+def _make_schedule(
+    scenario: str,
+    values: int,
+    group_count: int,
+    seed: int,
+    spacing: float,
+    multi_fraction: float,
+    start: float = 0.05,
+) -> List[Tuple[float, Tuple[GroupId, ...]]]:
+    """The submission schedule: ``(time, destination groups)`` per message.
+
+    Generated once per scenario and replayed verbatim into every engine --
+    identical seeds produce identical offered load, which is what makes the
+    latency columns comparable.
+    """
+    multi, skew = _scenario_axes(scenario)
+    rng = random.Random(seed)
+    chooser = ZipfianChooser(group_count) if skew == "zipf" else UniformChooser(group_count)
+    schedule: List[Tuple[float, Tuple[GroupId, ...]]] = []
+    for index in range(values):
+        first = chooser.next_index(rng) % group_count
+        if multi and group_count > 1 and rng.random() < multi_fraction:
+            second = chooser.next_index(rng) % group_count
+            while second == first:
+                second = chooser.next_index(rng) % group_count
+            dests: Tuple[GroupId, ...] = tuple(sorted((f"g{first}", f"g{second}")))
+        else:
+            dests = (f"g{first}",)
+        schedule.append((start + index * spacing, dests))
+    return schedule
+
+
+def _build_engine(
+    engine_name: str,
+    group_count: int,
+    members_per_group: int,
+    seed: int,
+    with_global_ring: bool,
+):
+    """Build ``engine_name`` on a fresh world with the shootout topology.
+
+    Every engine gets the same ``group_count`` groups of
+    ``members_per_group`` members on one LAN site.  The Multi-Ring engine
+    additionally gets the designated multi-group ring (acceptors: the first
+    member of each group; learners: everyone) when the scenario contains
+    multi-group traffic -- the White-Box engine needs no such ring, which is
+    precisely the asymmetry under measurement.
+    """
+    world = World(topology=lan_topology(), seed=seed, timeline_window=0.5)
+    engine = engine_registry.create(engine_name)
+    engine.build(world, MultiRingConfig.datacenter())
+    groups = [f"g{i}" for i in range(group_count)]
+    members: Dict[GroupId, List[str]] = {
+        group: [f"{group}-{k}" for k in range(members_per_group)] for group in groups
+    }
+    for group in groups:
+        engine.add_group(EngineSpec(group=group, members=list(members[group])))
+    if with_global_ring and engine_name == "multiring":
+        all_nodes = [name for group in groups for name in members[group]]
+        anchors = [members[group][0] for group in groups]
+        engine.add_group(
+            EngineSpec(
+                group=_GLOBAL_GROUP,
+                members=all_nodes,
+                acceptors=list(anchors),
+                proposers=list(anchors),
+                learners=all_nodes,
+                options={"multi_group_route": True},
+            )
+        )
+    return world, engine, groups
+
+
+def _run_combo(
+    engine_name: str,
+    schedule: Sequence[Tuple[float, Tuple[GroupId, ...]]],
+    group_count: int,
+    members_per_group: int,
+    seed: int,
+    drain: float,
+) -> Dict:
+    """Replay ``schedule`` through one engine and measure the outcome."""
+    needs_global = any(len(dests) > 1 for _, dests in schedule)
+    world, engine, groups = _build_engine(
+        engine_name, group_count, members_per_group, seed, with_global_ring=needs_global
+    )
+    witness = {group: engine.descriptor(group).learners[0] for group in groups}
+
+    expected_dests: Dict[int, Tuple[GroupId, ...]] = {}
+    outstanding: set = set()
+    latencies: List[float] = []
+    non_destination = 0
+    learner_deliveries = 0
+
+    def hook(node_name: str, home: GroupId) -> None:
+        def on_delivery(delivery) -> None:
+            nonlocal non_destination, learner_deliveries
+            uid = delivery.value.uid
+            dests = expected_dests.get(uid)
+            if dests is None:
+                return
+            learner_deliveries += 1
+            if home not in dests:
+                non_destination += 1
+                return
+            if node_name == witness[home] and (uid, home) in outstanding:
+                outstanding.discard((uid, home))
+                latencies.append(world.now - delivery.value.created_at)
+
+        engine.node(node_name).on_deliver(on_delivery)
+
+    # One callback per node: a node subscribed to several rings (the global
+    # ring case) sees each delivery exactly once, tagged by its home group.
+    for group in groups:
+        for name in engine.descriptor(group).learners:
+            hook(name, group)
+
+    def submit(dests: Tuple[GroupId, ...]) -> None:
+        value = engine.multicast(dests, None, _VALUE_SIZE)
+        expected_dests[value.uid] = dests
+        for group in dests:
+            outstanding.add((value.uid, group))
+
+    for at, dests in schedule:
+        world.sim.call_at(at, submit, dests)
+    end = schedule[-1][0] + drain if schedule else drain
+    world.run(until=end)
+
+    stats = LatencyStats.from_samples(latencies)
+    engine_stats = engine.stats()
+    messages_sent = sum(engine_stats.get("messages_sent", {}).values())
+    return {
+        "engine": engine_name,
+        "submitted": len(schedule),
+        "witness_deliveries": stats.count,
+        "missing": len(outstanding),
+        "learner_deliveries": learner_deliveries,
+        "non_destination_deliveries": non_destination,
+        "messages_sent": messages_sent,
+        "events": world.sim.processed_events,
+        "latency_ms": stats.as_millis(),
+        "genuine": engine_stats.get("genuine", False),
+        # Whitebox cross-check: the deployment's own genuineness ledger must
+        # agree with the callback-side count (both are 0 when genuine).
+        "engine_reported_non_destination": engine_stats.get("non_destination_deliveries"),
+    }
+
+
+def run_shootout(
+    values_per_scenario: int = 400,
+    scenarios: Sequence[str] = SHOOTOUT_SCENARIOS,
+    engines: Sequence[str] = SHOOTOUT_ENGINES,
+    group_count: int = 3,
+    members_per_group: int = 3,
+    spacing: float = 2e-3,
+    drain: float = 2.0,
+    multi_fraction: float = 1.0 / 3.0,
+    seed: int = 11,
+    output: Optional[Path] = Path("BENCH_shootout.json"),
+) -> Dict:
+    """Run every (scenario, engine) combination and compare the protocols.
+
+    ``passed`` is False when any engine fails validity (a submitted message
+    never reaches some destination's witness) or when the White-Box engine --
+    genuine by construction -- reports a delivery at a non-destination group.
+    Writes the raw results to ``output`` (``BENCH_shootout.json`` by default;
+    pass ``None`` to skip) so CI can upload them as an artifact.
+    """
+    results: Dict[str, Dict[str, Dict]] = {}
+    failures: List[str] = []
+    for scenario in scenarios:
+        schedule = _make_schedule(
+            scenario, values_per_scenario, group_count, seed, spacing, multi_fraction
+        )
+        cells: Dict[str, Dict] = {}
+        for engine_name in engines:
+            cell = _run_combo(
+                engine_name, schedule, group_count, members_per_group, seed, drain
+            )
+            cells[engine_name] = cell
+            if cell["missing"]:
+                failures.append(
+                    f"{scenario}/{engine_name}: {cell['missing']} destination "
+                    "deliveries never arrived"
+                )
+            if engine_name == "whitebox" and (
+                cell["non_destination_deliveries"]
+                or cell["engine_reported_non_destination"]
+            ):
+                failures.append(
+                    f"{scenario}/whitebox: genuineness violated "
+                    f"({cell['non_destination_deliveries']} callback-side, "
+                    f"{cell['engine_reported_non_destination']} ledger-side "
+                    "non-destination deliveries)"
+                )
+        results[scenario] = cells
+
+    rows = []
+    for scenario in scenarios:
+        for engine_name in engines:
+            cell = results[scenario][engine_name]
+            ms = cell["latency_ms"]
+            rows.append(
+                [
+                    scenario,
+                    engine_name,
+                    cell["witness_deliveries"],
+                    f"{ms['p50_ms']:.3f}",
+                    f"{ms['p90_ms']:.3f}",
+                    f"{ms['p99_ms']:.3f}",
+                    cell["messages_sent"],
+                    cell["non_destination_deliveries"],
+                ]
+            )
+    report = format_table(
+        "Shootout: Multi-Ring Paxos vs. White-Box Atomic Multicast (identical seeds)",
+        [
+            "scenario",
+            "engine",
+            "delivered",
+            "p50 ms",
+            "p90 ms",
+            "p99 ms",
+            "msgs sent",
+            "non-dest dlvs",
+        ],
+        rows,
+    )
+    if failures:
+        report += "\nFAILURES:\n" + "\n".join(f"  - {line}" for line in failures)
+    result = {
+        "experiment": "shootout",
+        "seed": seed,
+        "values_per_scenario": values_per_scenario,
+        "group_count": group_count,
+        "members_per_group": members_per_group,
+        "multi_fraction": multi_fraction,
+        "scenarios": list(scenarios),
+        "engines": list(engines),
+        "results": results,
+        "report": report,
+        "passed": not failures,
+        "failures": failures,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return result

@@ -1,0 +1,98 @@
+"""Pluggable ordering engines behind the :class:`~repro.api.AtomicMulticast` facade.
+
+An *ordering engine* is one complete atomic multicast protocol implementing
+the :class:`~repro.engines.base.OrderingEngine` seam.  Two engines ship with
+the library:
+
+* ``"multiring"`` -- Multi-Ring Paxos (the paper's protocol): one Ring Paxos
+  instance per group, deterministic learner-side merge, rate leveling.
+  Multi-group messages ride a designated ring all learners subscribe to.
+* ``"whitebox"`` -- White-Box Atomic Multicast (Gotsman, Lefort, Chockler,
+  arXiv 1904.07171): fault-tolerant Skeen.  Each group's leader assigns a
+  replicated local timestamp, destination groups exchange proposals, the
+  final timestamp is the maximum, and a message is delivered once its
+  timestamp is globally minimal.  *Genuine*: only destination groups ever
+  process a message.
+
+Tests register fakes with :func:`register`; the facade resolves engines with
+:func:`get`, which raises :class:`~repro.errors.ConfigurationError` naming
+the registered engines for typos.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.engines.base import DeliveryCallback, EngineSpec, GroupDescriptor, OrderingEngine
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OrderingEngine",
+    "EngineSpec",
+    "GroupDescriptor",
+    "DeliveryCallback",
+    "register",
+    "unregister",
+    "get",
+    "create",
+    "available",
+]
+
+_REGISTRY: Dict[str, Callable[[], OrderingEngine]] = {}
+
+
+def register(name: str, factory: Callable[[], OrderingEngine], *,
+             replace: bool = False) -> None:
+    """Register an engine ``factory`` (usually the engine class) under ``name``.
+
+    Used by tests to plug in fakes and by downstream code to add protocols
+    without touching this package.  Re-registering an existing name raises
+    unless ``replace=True``.
+    """
+    if not name:
+        raise ConfigurationError("an engine needs a non-empty name")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"engine {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister(name: str) -> None:
+    """Remove a registered engine (built-ins can be re-imported back)."""
+    _REGISTRY.pop(name, None)
+
+
+def available() -> List[str]:
+    """Registered engine names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Callable[[], OrderingEngine]:
+    """The factory registered under ``name``.
+
+    Raises :class:`~repro.errors.ConfigurationError` listing every
+    registered engine when ``name`` is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ordering engine {name!r}; registered engines: {available()}"
+        ) from None
+
+
+def create(name: str) -> OrderingEngine:
+    """Instantiate the engine registered under ``name``."""
+    return get(name)()
+
+
+def _register_builtins() -> None:
+    from repro.engines.multiring import MultiRingEngine
+    from repro.engines.whitebox import WhiteBoxEngine
+
+    register(MultiRingEngine.name, MultiRingEngine, replace=True)
+    register(WhiteBoxEngine.name, WhiteBoxEngine, replace=True)
+
+
+_register_builtins()

@@ -1,0 +1,704 @@
+"""Engine #2: White-Box Atomic Multicast (fault-tolerant Skeen).
+
+Implements the protocol of *"White-Box Atomic Multicast"* (Gotsman, Lefort,
+Chockler -- DSN 2019, arXiv 1904.07171): a genuine atomic multicast obtained
+by integrating Skeen's classic timestamp-based multicast with Paxos-style
+replication *inside* each destination group, instead of layering multicast
+on top of black-box consensus.
+
+For a message ``m`` addressed to destination groups ``dests``:
+
+1. **Submit** -- the submitting proposer sends ``m`` to the *leader* of every
+   destination group (:class:`WbSubmit`).  Non-destination groups never see
+   the message: the protocol is *genuine* by construction, which is exactly
+   what the shootout bench measures against Multi-Ring Paxos' global ring.
+2. **Local timestamp + replication** -- each destination leader assigns the
+   next value of its group's logical clock as ``m``'s *local timestamp* and
+   replicates the (timestamp, message) record to the group members under its
+   ballot (:class:`WbAccept`), waiting for acknowledgements from a majority
+   of the group's acceptors (:class:`WbAccepted`).  The acceptor-side vote
+   bookkeeping reuses :class:`repro.paxos.types.InstanceRecord` keyed by the
+   value uid -- the same promise/accept discipline Ring Paxos acceptors use.
+3. **Timestamp exchange** -- once replicated, the leader sends its proposed
+   timestamp to the leaders of the other destination groups
+   (:class:`WbTimestamp`).  The *final* timestamp of ``m`` is the maximum
+   over all destination groups' proposals, so every destination computes the
+   same one.
+4. **Commit + delivery** -- the leader broadcasts the final timestamp to the
+   group (:class:`WbCommit`).  A learner delivers committed messages in
+   ``(timestamp, uid)`` order, and may deliver ``m`` only when no message
+   still in the *proposed* state has a smaller key: a proposed local
+   timestamp is a lower bound on that message's final timestamp, so nothing
+   can later commit below ``m``'s key.  This is Skeen's delivery condition;
+   collision-free messages complete in two intra-group round trips plus one
+   leader-to-leader exchange.
+
+Soundness of the blocking rule leans on two properties this runtime
+provides: per-channel FIFO delivery (the sim network models TCP; the live
+transport *is* TCP) so a follower always sees a record's ``WbAccept`` before
+its ``WbCommit``, and leader serialization -- a leader max-updates its clock
+on every commit before assigning the next local timestamp.
+
+Scope notes, deliberate for engine v1: the leader of each group is static
+(``Ballot(1, leader)``; no failover election -- crash-stop of a leader
+blocks its group, as the paper's protocol without its recovery extension),
+and handlers run without the sim CPU cost model (latency is dominated by the
+network model; the multiring engine's per-message CPU charge of ~4us is
+small against the 20us network floor).  Both are documented trade-offs the
+conformance suite respects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from heapq import heappush, heappop
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.engines.base import DeliveryCallback, EngineSpec, GroupDescriptor, OrderingEngine
+from repro.errors import ConfigurationError, MulticastError
+from repro.multiring.merge import Delivery
+from repro.net.message import ProtocolMessage
+from repro.obs import obs_of
+from repro.paxos.types import Ballot, InstanceRecord
+from repro.runtime.actor import Process
+from repro.runtime.interfaces import Runtime
+from repro.types import GroupId, Value
+
+__all__ = [
+    "WbSubmit",
+    "WbAccept",
+    "WbAccepted",
+    "WbTimestamp",
+    "WbCommit",
+    "WhiteBoxNode",
+    "WhiteBoxDeployment",
+    "WhiteBoxEngine",
+]
+
+
+# ----------------------------------------------------------------------
+# wire messages (registered in the codec's append-only table, ids 50-54)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class WbSubmit(ProtocolMessage):
+    """Proposer -> destination-group leader: order ``value`` in ``group``."""
+
+    group: GroupId
+    dests: Tuple[GroupId, ...]
+    value: Value
+
+
+@dataclass(slots=True)
+class WbAccept(ProtocolMessage):
+    """Leader -> group members: replicate the (timestamp, value) record."""
+
+    group: GroupId
+    uid: int
+    ballot: Ballot
+    ts: int
+    dests: Tuple[GroupId, ...]
+    value: Value
+
+
+@dataclass(slots=True)
+class WbAccepted(ProtocolMessage):
+    """Acceptor -> leader: record accepted under ``ballot``."""
+
+    group: GroupId
+    uid: int
+    ballot: Ballot
+    ts: int
+
+
+@dataclass(slots=True)
+class WbTimestamp(ProtocolMessage):
+    """Leader of ``origin`` -> leader of ``group``: proposed local timestamp."""
+
+    group: GroupId
+    origin: GroupId
+    uid: int
+    ts: int
+
+
+@dataclass(slots=True)
+class WbCommit(ProtocolMessage):
+    """Leader -> group members: final (maximum) timestamp; deliver in key order."""
+
+    group: GroupId
+    uid: int
+    ts: int
+
+
+# ----------------------------------------------------------------------
+# per-message and per-group state
+# ----------------------------------------------------------------------
+class _Record:
+    """One in-flight message at one group member."""
+
+    __slots__ = (
+        "uid", "value", "dests", "ts", "committed", "quorum_reached",
+        "acks", "proposals", "paxos",
+    )
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        #: None while the record is an *embryo* created by a WbTimestamp that
+        #: raced ahead of the WbSubmit at this leader.  Embryos carry no local
+        #: timestamp yet and never block delivery: the local timestamp they
+        #: will eventually get exceeds the group clock at creation time.
+        self.value: Optional[Value] = None
+        self.dests: Optional[Tuple[GroupId, ...]] = None
+        #: Current ordering key timestamp: proposed, then final once committed.
+        self.ts = 0
+        self.committed = False
+        self.quorum_reached = False
+        #: Leader only: acceptor names that acknowledged the replication.
+        self.acks: Set[str] = set()
+        #: Leader only: destination group -> proposed local timestamp.
+        self.proposals: Dict[GroupId, int] = {}
+        #: Acceptor vote state, reusing the Ring Paxos per-instance record
+        #: (keyed by value uid instead of a ring instance number).
+        self.paxos = InstanceRecord(instance=uid)
+
+
+class _WbGroup:
+    """One node's view of one multicast group it is a member of."""
+
+    __slots__ = (
+        "descriptor", "is_leader", "is_acceptor", "is_learner", "quorum",
+        "ballot", "clock", "records", "heap", "finished", "delivered_seq",
+        "commits",
+    )
+
+    def __init__(self, descriptor: GroupDescriptor, node_name: str) -> None:
+        self.descriptor = descriptor
+        self.is_leader = descriptor.coordinator == node_name
+        self.is_acceptor = node_name in descriptor.acceptors
+        self.is_learner = node_name in descriptor.learners
+        self.quorum = descriptor.quorum_size
+        #: Static leader ballot (no failover in engine v1).
+        self.ballot = Ballot(1, descriptor.coordinator)
+        #: Skeen logical clock: max-updated on every timestamp seen.
+        self.clock = 0
+        self.records: Dict[int, _Record] = {}
+        #: (timestamp, uid) delivery keys; lazily pruned of stale entries.
+        self.heap: List[Tuple[int, int]] = []
+        #: Uids fully processed here (delivered, or committed on a
+        #: non-learner); guards against stale/duplicate protocol messages.
+        self.finished: Set[int] = set()
+        self.delivered_seq = 0
+        self.commits = 0
+
+
+class WhiteBoxNode(Process):
+    """A White-Box Atomic Multicast group member (leader and/or follower)."""
+
+    def __init__(
+        self,
+        world: Runtime,
+        deployment: "WhiteBoxDeployment",
+        name: str,
+        site: Optional[str] = None,
+    ) -> None:
+        super().__init__(world, name, site)
+        self._deployment = deployment
+        #: Shared group directory (group -> descriptor); static config data,
+        #: the only thing a node needs to route submit/timestamp traffic.
+        self._directory = deployment.directory
+        self._sim = world.sim
+        self.obs = obs_of(world)
+        self._tracer = self.obs.tracer
+        self.obs.metrics.add_collector(self._metric_samples)
+        self.wb_groups: Dict[GroupId, _WbGroup] = {}
+        self.deliveries_count = 0
+        self._delivery_callbacks: List[DeliveryCallback] = []
+        self._group_delivery_callbacks: Dict[GroupId, List[DeliveryCallback]] = {}
+
+    # ------------------------------------------------------------------
+    # membership / application surface
+    # ------------------------------------------------------------------
+    def join_group(self, descriptor: GroupDescriptor) -> _WbGroup:
+        state = self.wb_groups.get(descriptor.group)
+        if state is None:
+            state = _WbGroup(descriptor, self.name)
+            self.wb_groups[descriptor.group] = state
+        return state
+
+    def on_deliver(self, callback: DeliveryCallback, group: Optional[GroupId] = None) -> None:
+        if group is None:
+            self._delivery_callbacks.append(callback)
+        else:
+            self._group_delivery_callbacks.setdefault(group, []).append(callback)
+
+    def submit(self, value: Value, dests: Tuple[GroupId, ...]) -> None:
+        """Start ordering ``value`` at every destination group's leader."""
+        for group in dests:
+            leader = self._directory[group].coordinator
+            message = WbSubmit(group=group, dests=dests, value=value)
+            if leader == self.name:
+                self._on_submit(self.name, message)
+            else:
+                self.send(leader, message)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, payload: Any) -> None:
+        kind = type(payload)
+        if kind is WbAccept:
+            self._on_accept(sender, payload)
+        elif kind is WbAccepted:
+            self._on_accepted(sender, payload)
+        elif kind is WbCommit:
+            self._on_commit(sender, payload)
+        elif kind is WbTimestamp:
+            self._on_timestamp(sender, payload)
+        elif kind is WbSubmit:
+            self._on_submit(sender, payload)
+
+    # ------------------------------------------------------------------
+    # leader side
+    # ------------------------------------------------------------------
+    def _on_submit(self, sender: str, msg: WbSubmit) -> None:
+        state = self.wb_groups.get(msg.group)
+        if state is None:
+            return
+        if not state.is_leader:
+            # Static-leader v1: re-route a mis-addressed submit.
+            self.send(state.descriptor.coordinator, msg)
+            return
+        uid = msg.value.uid
+        if uid in state.finished:
+            return
+        record = state.records.get(uid)
+        if record is not None and record.value is not None:
+            return  # duplicate submit
+        if record is None:
+            record = _Record(uid)
+            state.records[uid] = record
+        record.value = msg.value
+        record.dests = msg.dests
+        state.clock += 1
+        record.ts = state.clock
+        record.paxos.accept(state.ballot, msg.value)
+        record.acks.add(self.name)
+        trace_id = msg.value.trace
+        if trace_id is not None and self._tracer.enabled:
+            now = self._sim.now
+            self._tracer.record(
+                trace_id, "propose", self.name, msg.value.created_at, now,
+                group=msg.group,
+            )
+            self._tracer.mark(trace_id, f"wbrep:{msg.group}", now)
+        if state.is_learner:
+            heappush(state.heap, (record.ts, uid))
+        accept = WbAccept(
+            group=msg.group, uid=uid, ballot=state.ballot, ts=record.ts,
+            dests=msg.dests, value=msg.value,
+        )
+        for member in state.descriptor.members:
+            if member != self.name:
+                self.send(member, accept)
+        self._maybe_quorum(state, record)
+
+    def _on_accepted(self, sender: str, msg: WbAccepted) -> None:
+        state = self.wb_groups.get(msg.group)
+        if state is None or not state.is_leader or msg.uid in state.finished:
+            return
+        record = state.records.get(msg.uid)
+        if record is None or msg.ballot != state.ballot:
+            return
+        record.acks.add(sender)
+        self._maybe_quorum(state, record)
+
+    def _maybe_quorum(self, state: _WbGroup, record: _Record) -> None:
+        if record.quorum_reached or record.committed:
+            return
+        acceptors = state.descriptor.acceptors
+        if sum(1 for name in record.acks if name in acceptors) < state.quorum:
+            return
+        record.quorum_reached = True
+        group = state.descriptor.group
+        trace_id = record.value.trace if record.value is not None else None
+        if trace_id is not None and self._tracer.enabled:
+            now = self._sim.now
+            start = self._tracer.take_mark(trace_id, f"wbrep:{group}")
+            if start is not None:
+                self._tracer.record(trace_id, "phase2", self.name, start, now, group=group)
+            self._tracer.mark(trace_id, f"wbdec:{group}", now)
+        record.proposals[group] = record.ts
+        for dest in record.dests:
+            if dest == group:
+                continue
+            leader = self._directory[dest].coordinator
+            message = WbTimestamp(group=dest, origin=group, uid=record.uid, ts=record.ts)
+            if leader == self.name:
+                self._on_timestamp(self.name, message)
+            else:
+                self.send(leader, message)
+        self._maybe_commit(state, record)
+
+    def _on_timestamp(self, sender: str, msg: WbTimestamp) -> None:
+        state = self.wb_groups.get(msg.group)
+        if state is None or not state.is_leader or msg.uid in state.finished:
+            return
+        record = state.records.get(msg.uid)
+        if record is None:
+            record = _Record(msg.uid)  # embryo: WbTimestamp beat WbSubmit here
+            state.records[msg.uid] = record
+        record.proposals[msg.origin] = msg.ts
+        self._maybe_commit(state, record)
+
+    def _maybe_commit(self, state: _WbGroup, record: _Record) -> None:
+        if record.committed or not record.quorum_reached or record.dests is None:
+            return
+        if any(dest not in record.proposals for dest in record.dests):
+            return
+        final_ts = max(record.proposals.values())
+        group = state.descriptor.group
+        trace_id = record.value.trace if record.value is not None else None
+        if trace_id is not None and self._tracer.enabled:
+            now = self._sim.now
+            start = self._tracer.take_mark(trace_id, f"wbdec:{group}")
+            if start is not None:
+                self._tracer.record(trace_id, "decide", self.name, start, now, group=group)
+        commit = WbCommit(group=group, uid=record.uid, ts=final_ts)
+        for member in state.descriptor.members:
+            if member != self.name:
+                self.send(member, commit)
+        self._commit_local(state, record, final_ts)
+
+    # ------------------------------------------------------------------
+    # follower side
+    # ------------------------------------------------------------------
+    def _on_accept(self, sender: str, msg: WbAccept) -> None:
+        state = self.wb_groups.get(msg.group)
+        if state is None or msg.uid in state.finished:
+            return
+        record = state.records.get(msg.uid)
+        if record is None:
+            record = _Record(msg.uid)
+            state.records[msg.uid] = record
+        elif record.value is not None:
+            return  # duplicate replication
+        record.value = msg.value
+        record.dests = msg.dests
+        if not record.paxos.can_accept(msg.ballot):
+            return
+        record.paxos.accept(msg.ballot, msg.value)
+        record.ts = msg.ts
+        if msg.ts > state.clock:
+            state.clock = msg.ts
+        if state.is_learner:
+            heappush(state.heap, (msg.ts, msg.uid))
+        if state.is_acceptor:
+            self.send(
+                sender,
+                WbAccepted(group=msg.group, uid=msg.uid, ballot=msg.ballot, ts=msg.ts),
+            )
+
+    def _on_commit(self, sender: str, msg: WbCommit) -> None:
+        state = self.wb_groups.get(msg.group)
+        if state is None or msg.uid in state.finished:
+            return
+        record = state.records.get(msg.uid)
+        if record is None or record.value is None or record.committed:
+            # FIFO leader channels make commit-before-accept impossible; a
+            # record can only be missing for stale duplicates.
+            return
+        self._commit_local(state, record, msg.ts)
+
+    def _commit_local(self, state: _WbGroup, record: _Record, final_ts: int) -> None:
+        record.committed = True
+        record.ts = final_ts
+        record.paxos.mark_decided()
+        if final_ts > state.clock:
+            state.clock = final_ts
+        state.commits += 1
+        if not state.is_learner:
+            # Acceptor-only members keep no delivery queue; the record is done.
+            del state.records[record.uid]
+            state.finished.add(record.uid)
+            return
+        heappush(state.heap, (final_ts, record.uid))
+        trace_id = record.value.trace if record.value is not None else None
+        if trace_id is not None and self._tracer.enabled:
+            self._tracer.mark(
+                trace_id, f"wbwait:{state.descriptor.group}:{self.name}", self._sim.now
+            )
+        self._try_deliver(state)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _try_deliver(self, state: _WbGroup) -> None:
+        heap = state.heap
+        records = state.records
+        while heap:
+            ts, uid = heap[0]
+            record = records.get(uid)
+            if record is None or record.ts != ts:
+                heappop(heap)  # delivered or re-keyed by a larger final ts
+                continue
+            if not record.committed:
+                # The globally minimal key is still only proposed: its final
+                # timestamp can only grow, so nothing may overtake it -- block.
+                return
+            heappop(heap)
+            self._deliver(state, record)
+
+    def _deliver(self, state: _WbGroup, record: _Record) -> None:
+        group = state.descriptor.group
+        del state.records[record.uid]
+        state.finished.add(record.uid)
+        delivery = Delivery(group=group, instance=state.delivered_seq, value=record.value)
+        state.delivered_seq += 1
+        self.deliveries_count += 1
+        self._deployment.note_delivery(group, record.uid)
+        trace_id = record.value.trace
+        if trace_id is not None and self._tracer.enabled:
+            self._trace_delivery(trace_id, delivery)
+            return
+        for callback in self._delivery_callbacks:
+            callback(delivery)
+        group_callbacks = self._group_delivery_callbacks.get(group)
+        if group_callbacks is not None:
+            for callback in group_callbacks:
+                callback(delivery)
+
+    def _trace_delivery(self, trace_id: str, delivery: Delivery) -> None:
+        tracer = self._tracer
+        released_at = self._sim.now
+        committed_at = tracer.take_mark(trace_id, f"wbwait:{delivery.group}:{self.name}")
+        if committed_at is not None:
+            tracer.record(
+                trace_id, "merge-wait", self.name, committed_at, released_at,
+                group=delivery.group, instance=delivery.instance,
+            )
+        for callback in self._delivery_callbacks:
+            callback(delivery)
+        group_callbacks = self._group_delivery_callbacks.get(delivery.group)
+        if group_callbacks is not None:
+            for callback in group_callbacks:
+                callback(delivery)
+        tracer.record(
+            trace_id, "apply", self.name, released_at, self._sim.now,
+            group=delivery.group, instance=delivery.instance,
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _metric_samples(self):
+        node = self.name
+        samples = [
+            ("wb_messages_sent_total", {"node": node}, self.messages_sent),
+            ("wb_deliveries_total", {"node": node}, self.deliveries_count),
+        ]
+        for group, state in self.wb_groups.items():
+            labels = {"node": node, "group": group}
+            samples.append(("wb_commits_total", labels, state.commits))
+            samples.append(("wb_clock", labels, state.clock))
+            samples.append(("wb_pending_records", labels, len(state.records)))
+        return samples
+
+
+# ----------------------------------------------------------------------
+# deployment + engine adapter
+# ----------------------------------------------------------------------
+class WhiteBoxDeployment:
+    """A set of White-Box nodes and the groups connecting them.
+
+    Mirrors :class:`~repro.multiring.deployment.Deployment`'s surface
+    (``add_group``/``multicast``/``node``/``run``) so benches and tests drive
+    both engines identically.  Also keeps the *genuineness ledger*: every
+    submitted uid's destination set, checked off as learners deliver, so the
+    shootout can assert that no delivery ever happens outside a destination
+    group (``non_destination_deliveries`` stays 0 by construction).
+    """
+
+    def __init__(self, world: Runtime, config: Any = None) -> None:
+        self.world = world
+        self.config = config
+        self.nodes: Dict[str, WhiteBoxNode] = {}
+        self.directory: Dict[GroupId, GroupDescriptor] = {}
+        self._proposer_rr: Dict[GroupId, "itertools.cycle"] = {}
+        #: uid -> (destination set, outstanding learner deliveries).
+        self._expected: Dict[int, Tuple[frozenset, int]] = {}
+        self.deliveries = 0
+        self.non_destination_deliveries = 0
+
+    # -- nodes ----------------------------------------------------------
+    def add_node(self, name: str, site: Optional[str] = None) -> WhiteBoxNode:
+        node = self.nodes.get(name)
+        if node is None:
+            node = WhiteBoxNode(self.world, self, name, site=site)
+            self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> WhiteBoxNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
+
+    # -- groups ---------------------------------------------------------
+    def add_group(
+        self,
+        descriptor: GroupDescriptor,
+        sites: Optional[Dict[str, str]] = None,
+    ) -> GroupDescriptor:
+        if descriptor.group in self.directory:
+            raise ConfigurationError(f"group {descriptor.group!r} already exists")
+        if descriptor.coordinator not in descriptor.acceptors:
+            raise ConfigurationError(
+                f"whitebox group {descriptor.group!r}: leader "
+                f"{descriptor.coordinator!r} must be one of its acceptors"
+            )
+        self.directory[descriptor.group] = descriptor
+        for member in descriptor.members:
+            site = sites.get(member) if sites else None
+            self.add_node(member, site=site).join_group(descriptor)
+        self._proposer_rr[descriptor.group] = itertools.cycle(descriptor.proposers)
+        return descriptor
+
+    def groups(self) -> List[GroupId]:
+        return list(self.directory)
+
+    def descriptor(self, group: GroupId) -> GroupDescriptor:
+        try:
+            return self.directory[group]
+        except KeyError:
+            raise ConfigurationError(f"unknown group {group!r}") from None
+
+    # -- traffic --------------------------------------------------------
+    def multicast(
+        self,
+        dests: Tuple[GroupId, ...],
+        payload: Any,
+        size_bytes: int,
+        via: Optional[str] = None,
+    ) -> Value:
+        dests = tuple(sorted(set(dests)))
+        if not dests:
+            raise MulticastError("a multicast needs at least one destination group")
+        for group in dests:
+            if group not in self.directory:
+                raise MulticastError(f"unknown group {group!r}")
+        proposer = via or next(self._proposer_rr[dests[0]])
+        node = self.node(proposer)
+        value = Value.create(
+            payload, size_bytes, proposer=proposer, created_at=self.world.sim.now
+        )
+        tracer = obs_of(self.world).tracer
+        if tracer.enabled:
+            value.trace = tracer.sample(value.proposer, value.uid)
+        expected = sum(len(self.directory[g].learners) for g in dests)
+        self._expected[value.uid] = (frozenset(dests), expected)
+        node.submit(value, dests)
+        return value
+
+    def note_delivery(self, group: GroupId, uid: int) -> None:
+        self.deliveries += 1
+        entry = self._expected.get(uid)
+        if entry is None:
+            return
+        dests, outstanding = entry
+        if group not in dests:
+            self.non_destination_deliveries += 1
+        outstanding -= 1
+        if outstanding <= 0:
+            del self._expected[uid]
+        else:
+            self._expected[uid] = (dests, outstanding)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        self.world.start()
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.world.run(until=until)
+
+
+class WhiteBoxEngine(OrderingEngine):
+    """White-Box Atomic Multicast as a pluggable ordering engine."""
+
+    name = "whitebox"
+    supports_live = False  # sim-only in v1; needs leader failover for live use
+
+    def __init__(self) -> None:
+        self.runtime = None
+        self.deployment: Optional[WhiteBoxDeployment] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def build(self, runtime, config) -> WhiteBoxDeployment:
+        if self.deployment is not None:
+            raise ConfigurationError("engine already built")
+        self.runtime = runtime
+        self.deployment = WhiteBoxDeployment(runtime, config)
+        return self.deployment
+
+    def add_group(self, spec: EngineSpec) -> GroupDescriptor:
+        options = dict(spec.options)
+        # multi_group_route is a multiring routing hint; whitebox is genuine
+        # for every destination set, so the hint is meaningless but harmless.
+        options.pop("multi_group_route", None)
+        if options.pop("ring_config", None) is not None:
+            raise ConfigurationError(
+                "ring_config tunes Ring Paxos; the whitebox engine has no rings"
+            )
+        if options:
+            raise ConfigurationError(f"unknown whitebox group options {sorted(options)!r}")
+        descriptor = GroupDescriptor(
+            group=spec.group,
+            members=list(spec.members),
+            proposers=spec.resolved_proposers(),
+            acceptors=spec.resolved_acceptors(),
+            learners=spec.resolved_learners(),
+            coordinator=spec.resolved_coordinator(),
+        )
+        return self.deployment.add_group(descriptor, sites=spec.sites)
+
+    # -- traffic --------------------------------------------------------
+    def multicast(
+        self,
+        dests: Tuple[GroupId, ...],
+        payload: Any,
+        size_bytes: int,
+        via: Optional[str] = None,
+    ) -> Value:
+        return self.deployment.multicast(dests, payload, size_bytes, via=via)
+
+    def on_deliver(self, group: GroupId, callback: DeliveryCallback,
+                   node: Optional[str] = None) -> str:
+        descriptor = self.deployment.descriptor(group)
+        if not descriptor.learners:
+            raise MulticastError(f"group {group!r} has no learners to deliver at")
+        witness = node or descriptor.learners[0]
+        self.deployment.node(witness).on_deliver(callback, group=group)
+        return witness
+
+    # -- introspection --------------------------------------------------
+    def groups(self) -> List[GroupId]:
+        return self.deployment.groups()
+
+    def descriptor(self, group: GroupId) -> GroupDescriptor:
+        return self.deployment.descriptor(group)
+
+    def node(self, name: str) -> WhiteBoxNode:
+        return self.deployment.node(name)
+
+    def stats(self) -> Dict[str, Any]:
+        nodes = self.deployment.nodes
+        return {
+            "engine": self.name,
+            "deliveries": {name: node.deliveries_count for name, node in nodes.items()},
+            "messages_sent": {name: node.messages_sent for name, node in nodes.items()},
+            "commits": {
+                name: sum(state.commits for state in node.wb_groups.values())
+                for name, node in nodes.items()
+            },
+            "genuine": True,
+            "non_destination_deliveries": self.deployment.non_destination_deliveries,
+        }

@@ -186,7 +186,7 @@ class RingHost(Process):
     def ring_send(self, dest: str, msg) -> None:
         """Send a protocol message to the next ring member.
 
-        Inlines :meth:`~repro.sim.process.Process.send`: this runs once per
+        Inlines :meth:`~repro.runtime.actor.Process.send`: this runs once per
         ring hop for every protocol message.
         """
         if not self.alive:

@@ -93,6 +93,13 @@ def _wire_types() -> Dict[int, Type]:
         RetransmitReply,
         RetransmitRequest,
     )
+    from repro.engines.whitebox import (
+        WbAccept,
+        WbAccepted,
+        WbCommit,
+        WbSubmit,
+        WbTimestamp,
+    )
     from repro.smr.command import Command, CommandBatch, Response, SubmitCommand
     from repro.types import Value, ValueBatch
 
@@ -127,6 +134,12 @@ def _wire_types() -> Dict[int, Type]:
         42: MigrationInstall,
         43: ForwardedCommand,
         44: ProposeControl,
+        # white-box atomic multicast (engine #2)
+        50: WbSubmit,
+        51: WbAccept,
+        52: WbAccepted,
+        53: WbTimestamp,
+        54: WbCommit,
     }
 
 

@@ -1,11 +1,24 @@
-"""Backwards-compatible shim: the CPU model now lives in the runtime layer.
+"""Deprecated alias module: the CPU model lives in :mod:`repro.runtime.cpu`.
 
 :class:`~repro.runtime.cpu.CPU` only needs a
-:class:`~repro.runtime.interfaces.Clock`, so it moved to
-:mod:`repro.runtime.cpu`; this module keeps the historical import path
-``repro.sim.cpu`` working for existing code and tests.
+:class:`~repro.runtime.interfaces.Clock`, so it moved to the runtime layer.
+Importing it through ``repro.sim.cpu`` still works for one release but emits
+a :class:`DeprecationWarning`; this module will then be removed.
 """
 
-from repro.runtime.cpu import CPU, CPUConfig
+import warnings
 
 __all__ = ["CPUConfig", "CPU"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        warnings.warn(
+            f"repro.sim.cpu.{name} is deprecated; import it from repro.runtime.cpu",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.runtime import cpu as _cpu
+
+        return getattr(_cpu, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

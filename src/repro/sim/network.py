@@ -26,7 +26,7 @@ from repro.sim.engine import Simulator
 from repro.sim.topology import Topology, lan_topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.process import Process
+    from repro.runtime.actor import Process
 
 __all__ = ["NetworkConfig", "Network"]
 

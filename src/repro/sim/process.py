@@ -1,11 +1,25 @@
-"""Backwards-compatible shim: the actor model now lives in the runtime layer.
+"""Deprecated alias module: the actor model lives in :mod:`repro.runtime.actor`.
 
 :class:`~repro.runtime.actor.Process` and :class:`~repro.runtime.actor.Timer`
 are backend-agnostic (they depend only on the runtime protocols), so they
-moved to :mod:`repro.runtime.actor`; this module keeps the historical import
-path ``repro.sim.process`` working for existing code and tests.
+moved to the runtime layer.  Importing them through ``repro.sim.process``
+still works for one release but emits a :class:`DeprecationWarning`; this
+module will then be removed.
 """
 
-from repro.runtime.actor import Process, Timer
+import warnings
 
 __all__ = ["Timer", "Process"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        warnings.warn(
+            f"repro.sim.process.{name} is deprecated; import it from repro.runtime.actor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.runtime import actor as _actor
+
+        return getattr(_actor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -69,7 +69,7 @@ class World:
     # process registry
     # ------------------------------------------------------------------
     def register(self, process: "Process", site: str) -> None:
-        """Called by :class:`~repro.sim.process.Process` on construction."""
+        """Called by :class:`~repro.runtime.actor.Process` on construction."""
         if process.name in self._processes:
             raise ConfigurationError(f"a process named {process.name!r} already exists")
         self._processes[process.name] = process
@@ -160,4 +160,4 @@ class World:
 
 # Imported late to avoid a circular import at module load time.
 from repro.sim.disk import Disk, disk_for_mode  # noqa: E402  (intentional tail import)
-from repro.sim.process import Process  # noqa: E402  (intentional tail import)
+from repro.runtime.actor import Process  # noqa: E402  (intentional tail import)

@@ -1,9 +1,10 @@
-"""Tests for the backend-agnostic :mod:`repro.api` facade."""
+"""Tests for the backend- and engine-agnostic :mod:`repro.api` facade."""
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import threading
 
 import pytest
 
@@ -90,6 +91,54 @@ def test_sim_services_and_monitor_accessors():
         assert am.monitor is am.world.monitor
 
 
+# ----------------------------------------------------------------------
+# engine selection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["multiring", "whitebox"])
+def test_submit_works_identically_on_both_engines(engine):
+    with AtomicMulticast(engine=engine, seed=6) as am:
+        assert am.engine_name == engine
+        _three_node_ring(am)
+        futures = [am.submit("ring-1", f"m{i}", size_bytes=128) for i in range(4)]
+        am.run_for(1.0)
+        payloads = [f.result(timeout=0).value.payload for f in futures]
+        assert sorted(payloads) == [f"m{i}" for i in range(4)]
+
+
+def test_whitebox_multicast_reaches_every_group_genuinely():
+    with AtomicMulticast(engine="whitebox", seed=8) as am:
+        am.ring("r1", acceptors=["a1", "a2", "a3"], learners=["a1", "a2", "a3"])
+        am.ring("r2", acceptors=["b1", "b2", "b3"], learners=["b1", "b2", "b3"])
+        future = am.multicast(("r1", "r2"), "both", size_bytes=64)
+        am.run_for(1.0)
+        assert future.result(timeout=0).value.payload == "both"
+        seen = [
+            [d.value.payload for d in am.deliveries(group)] for group in ("r1", "r2")
+        ]
+        assert seen == [["both"], ["both"]]
+        stats = am.engine_stats()
+        assert stats["genuine"] is True
+        assert stats["non_destination_deliveries"] == 0
+
+
+def test_unknown_engine_error_names_the_registered_ones():
+    with pytest.raises(ConfigurationError, match="multiring"):
+        AtomicMulticast(engine="flexcast")
+
+
+def test_positional_backend_is_deprecated_but_works():
+    with pytest.warns(DeprecationWarning, match="positionally"):
+        am = AtomicMulticast("sim")
+    assert am.backend == "sim"
+    with pytest.raises(TypeError, match="keyword arguments"):
+        AtomicMulticast("sim", "live")  # type: ignore[call-arg]
+
+
+def test_live_backend_refuses_sim_only_engines():
+    with pytest.raises(ConfigurationError, match="does not support the live backend"):
+        AtomicMulticast(backend="live", engine="whitebox")
+
+
 def test_rejects_unknown_backend_and_missing_ring():
     with pytest.raises(ConfigurationError, match="unknown backend"):
         AtomicMulticast(backend="quantum")
@@ -135,3 +184,35 @@ def test_live_topology_arguments_are_rejected():
 
     with pytest.raises(ConfigurationError, match="real one"):
         AtomicMulticast(backend="live", topology=lan_topology())
+
+
+def _live_threads() -> list:
+    return [t for t in threading.enumerate() if t.name == "repro-live" and t.is_alive()]
+
+
+def test_failed_live_startup_never_leaks_the_loop_thread():
+    # 240.0.0.0 is not a local address, so binding the node servers fails
+    # immediately; __enter__ must re-raise *after* tearing the thread down.
+    am = AtomicMulticast(backend="live", host="240.0.0.0")
+    am.ring("g", acceptors=["n0"], learners=["n0"])
+    with pytest.raises(OSError):
+        am.__enter__()
+    assert am._thread is None
+    assert not _live_threads()
+
+
+def test_wedged_live_startup_times_out_and_reaps_the_thread(monkeypatch):
+    from repro.runtime import live as live_mod
+
+    async def wedged_aenter(self):
+        await asyncio.sleep(3600)
+
+    monkeypatch.setattr(live_mod.LiveDeployment, "__aenter__", wedged_aenter)
+    monkeypatch.setattr(AtomicMulticast, "_STARTUP_TIMEOUT", 0.3)
+    am = AtomicMulticast(backend="live")
+    am.ring("g", acceptors=["n0"], learners=["n0"])
+    with pytest.raises(ConfigurationError, match="failed to start"):
+        am.__enter__()
+    # The wedged deployment was cancelled, not abandoned: no thread survives.
+    assert am._thread is None
+    assert not _live_threads()

@@ -123,6 +123,7 @@ class TestHarnessPresets:
             "chaos",
             "perf",
             "live",
+            "shootout",
         }
 
 

@@ -16,6 +16,13 @@ import random
 
 import pytest
 
+from repro.engines.whitebox import (
+    WbAccept,
+    WbAccepted,
+    WbCommit,
+    WbSubmit,
+    WbTimestamp,
+)
 from repro.paxos.types import Ballot
 from repro.recovery.checkpoint import Checkpoint
 from repro.recovery.messages import (
@@ -154,6 +161,18 @@ def _samples(rng: random.Random):
         ),
         ForwardedCommand(migration_id=7, dest="p1", command=command),
         ProposeControl(group="g0", payload=SpliceRing(group="g2", learners=("rep0",)), payload_bytes=256),
+        WbSubmit(group="g0", dests=("g0", "g1"), value=value),
+        WbAccept(
+            group="g0",
+            uid=value.uid,
+            ballot=ballot,
+            ts=rng.randrange(1, 1000),
+            dests=("g0", "g2"),
+            value=value,
+        ),
+        WbAccepted(group="g1", uid=value.uid, ballot=ballot, ts=rng.randrange(1, 1000)),
+        WbTimestamp(group="g1", origin="g0", uid=value.uid, ts=rng.randrange(1, 1000)),
+        WbCommit(group="g0", uid=value.uid, ts=rng.randrange(1, 1000)),
     ]
 
 

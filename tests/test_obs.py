@@ -134,7 +134,7 @@ class TestMetricsRegistry:
 
 
 # ----------------------------------------------------------------------
-# stats (moved from repro.sim.monitor, re-exported there as a shim)
+# stats (moved from repro.sim.monitor; deprecated aliases remain there)
 # ----------------------------------------------------------------------
 class TestStats:
     def test_latency_stats_and_percentile(self):
@@ -144,12 +144,17 @@ class TestStats:
         assert stats.p50 == pytest.approx(percentile(samples, 0.50))
         assert stats.maximum == pytest.approx(0.1)
 
-    def test_monitor_shim_reexports_stats(self):
-        from repro.sim.monitor import LatencyStats as ShimStats
-        from repro.sim.monitor import percentile as shim_percentile
+    def test_monitor_stats_aliases_warn_but_resolve(self):
+        import repro.sim.monitor as monitor_module
 
-        assert ShimStats is LatencyStats
+        with pytest.warns(DeprecationWarning, match="repro.obs.stats"):
+            shim_stats = monitor_module.LatencyStats
+        with pytest.warns(DeprecationWarning, match="repro.obs.stats"):
+            shim_percentile = monitor_module.percentile
+        assert shim_stats is LatencyStats
         assert shim_percentile is percentile
+        with pytest.raises(AttributeError):
+            monitor_module.no_such_name
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,7 @@ from repro.paxos.types import Ballot
 from repro.ringpaxos.messages import Decision, Phase2, Proposal
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.topology import Topology
 from repro.sim.world import World
 from repro.types import Value

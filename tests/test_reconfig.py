@@ -325,7 +325,7 @@ class TestElasticStore:
         )
         acks = []
 
-        from repro.sim.process import Process
+        from repro.runtime.actor import Process
 
         class _Client(Process):
             def on_message(self, sender, payload):

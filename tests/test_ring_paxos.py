@@ -7,7 +7,7 @@ from repro.errors import MulticastError
 from repro.ringpaxos.broadcast import build_broadcast_ring
 from repro.ringpaxos.messages import RetransmitReply, RetransmitRequest
 from repro.sim.disk import StorageMode
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.world import World
 
 

@@ -22,7 +22,7 @@ from repro.scenarios.invariants import (
 )
 from repro.sim.disk import Disk, SSD_CONFIG
 from repro.sim.failure import FailureInjector
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.topology import matrix_topology
 from repro.sim.world import World
 from repro.smr.client import ClosedLoopClient, Request

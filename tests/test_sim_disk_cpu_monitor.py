@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.cpu import CPU, CPUConfig
+from repro.runtime.cpu import CPU, CPUConfig
 from repro.sim.disk import (
     Disk,
     DiskConfig,
@@ -12,7 +12,8 @@ from repro.sim.disk import (
     disk_for_mode,
 )
 from repro.sim.engine import Simulator
-from repro.sim.monitor import LatencyStats, Monitor, ThroughputTimeline, percentile
+from repro.obs.stats import LatencyStats, ThroughputTimeline, percentile
+from repro.sim.monitor import Monitor
 
 
 class TestDisk:

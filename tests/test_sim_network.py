@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError, NetworkError, ProcessCrashedError
 from repro.sim.network import NetworkConfig
-from repro.sim.process import Process
+from repro.runtime.actor import Process
 from repro.sim.topology import EC2_REGIONS, Topology, lan_topology, wan_topology
 from repro.sim.world import World
 

@@ -13,7 +13,7 @@ to ring 2.  It multicasts a handful of messages and shows that
 
 The same protocol stack runs live over localhost TCP through the same
 facade (``backend="live"``, rings declared before entering the context --
-see the README's live-mode quickstart or ``python -m repro.live --smoke``).
+see docs/architecture.md or ``python -m repro.live --smoke``).
 
 Run with::
 

@@ -539,6 +539,50 @@ class AtomicMulticast:
         self._hook_witness(group)
         return self._streams[group]
 
+    def workload(
+        self,
+        group: GroupId,
+        schedule=None,
+        *,
+        replay=None,
+        key_space: int = 10_000,
+        users: int = 1_000_000,
+        seed: Optional[int] = None,
+        op: str = "append",
+        size_bytes: int = 512,
+        record: bool = False,
+    ):
+        """Open-loop arrival-sampled traffic against ``group``, either backend.
+
+        Pass either a :class:`~repro.workloads.engine.PhaseSchedule`
+        (``schedule=``) to sample a fresh Poisson/Zipf arrival stream, or a
+        recorded :class:`~repro.workloads.engine.WorkloadTrace` (``replay=``)
+        to reproduce a captured storm byte-for-byte -- e.g. one recorded on
+        the sim backend, replayed over real TCP.  Returns a
+        :class:`~repro.workloads.engine.FacadeWorkloadManager`
+        (start / stop / collect / recent_entries); completions resolve at the
+        group's witness learner, and latency is measured from the *intended*
+        arrival instant (no coordinated omission).  ``record=True`` captures
+        the submitted stream on ``manager.trace`` for later replay.
+        """
+        from repro.workloads.engine import FacadeWorkloadManager, OpenLoopSampler
+
+        if (schedule is None) == (replay is None):
+            raise ConfigurationError("pass exactly one of schedule= or replay=")
+        if replay is not None:
+            events = list(replay)
+        else:
+            sampler = OpenLoopSampler(
+                schedule,
+                key_space=key_space,
+                users=users,
+                seed=self.seed if seed is None else seed,
+                op=op,
+                size_bytes=size_bytes,
+            )
+            events = list(sampler.events())
+        return FacadeWorkloadManager(self, group, events, record=record)
+
     # ------------------------------------------------------------------
     # execution / time
     # ------------------------------------------------------------------

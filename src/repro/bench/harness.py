@@ -23,6 +23,7 @@ from repro.bench.live import run_live_bench
 from repro.bench.perf import run_perf
 from repro.bench.reconfig import run_reconfig
 from repro.bench.shootout import run_shootout
+from repro.bench.workload import run_workload
 
 __all__ = ["run_experiment", "EXPERIMENTS", "SCALES"]
 
@@ -221,6 +222,44 @@ def run_experiment(name: str, scale: str = "quick") -> Dict:
                 paper={"values_per_scenario": 2000, "spacing": 1e-3},
             )
         )
+    if name == "workload":
+        return run_workload(
+            **_params(
+                scale,
+                # The storm runs on both backends at every scale; the live
+                # leg replays a prefix of the sim-recorded trace over TCP.
+                smoke={
+                    "duration": 6.0,
+                    "base_rate": 30.0,
+                    "spike_rate": 240.0,
+                    "spike_at": 2.0,
+                    "spike_duration": 1.5,
+                    "record_count": 240,
+                    "live_replay_events": 60,
+                    "quiesce": 1.5,
+                },
+                quick={
+                    "duration": 12.0,
+                    "base_rate": 40.0,
+                    "spike_rate": 320.0,
+                    "spike_at": 4.0,
+                    "spike_duration": 3.0,
+                    "record_count": 400,
+                    "live_replay_events": 150,
+                },
+                paper={
+                    "duration": 60.0,
+                    "base_rate": 200.0,
+                    "spike_rate": 2000.0,
+                    "spike_at": 20.0,
+                    "spike_duration": 10.0,
+                    "record_count": 5000,
+                    "users": 5_000_000,
+                    "live_replay_events": 500,
+                    "quiesce": 5.0,
+                },
+            )
+        )
     if name == "ablations":
         duration = {"smoke": 2.0, "quick": 5.0, "paper": 20.0}[scale]
         leveling = run_rate_leveling_ablation(duration=duration)
@@ -248,4 +287,5 @@ EXPERIMENTS = (
     "perf",
     "live",
     "shootout",
+    "workload",
 )

@@ -8,7 +8,9 @@ artifact in CI), and compares them against the committed baseline:
   metrics vs ``benchmarks/baselines/smoke.json``;
 * ``--suite perf``: simulator hot-path metrics vs
   ``benchmarks/baselines/perf.json`` -- deterministic simulated-time rates
-  gate hard, wall-clock events/sec is reported warn-only (runner jitter).
+  gate hard, wall-clock events/sec is reported warn-only (runner jitter);
+* ``--suite workload``: the open-loop flash-crowd storm (deterministic sim
+  percentiles and completion counts) vs ``benchmarks/baselines/workload.json``.
 
 For the default smoke suite:
 
@@ -37,7 +39,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import run_experiment
 
-__all__ = ["collect_smoke_metrics", "collect_perf_metrics", "compare_metrics", "main"]
+__all__ = [
+    "collect_smoke_metrics",
+    "collect_perf_metrics",
+    "collect_workload_metrics",
+    "compare_metrics",
+    "main",
+]
 
 #: Committed baselines live here; per-suite defaults are in :data:`SUITES`.
 _BASELINE_DIR = Path("benchmarks") / "baselines"
@@ -138,10 +146,47 @@ def collect_perf_metrics(scale: str = "smoke", obs_overhead: bool = False) -> Di
     return result
 
 
+def collect_workload_metrics(scale: str = "smoke") -> Dict:
+    """Run the sim-only flash-crowd storm and distill its gate metrics.
+
+    The live leg is excluded on purpose: the simulator percentiles are
+    deterministic (same seed, same topology, same arrival stream), so the
+    usual ±tolerance only has to absorb intentional model changes.  The
+    collected result also embeds the storm's ``analytics`` section so the
+    gate can print SLO verdicts next to the metric comparison.
+    """
+    from repro.bench.workload import run_workload
+
+    storm = run_workload(
+        duration=6.0,
+        base_rate=30.0,
+        spike_rate=240.0,
+        spike_at=2.0,
+        spike_duration=1.5,
+        record_count=240,
+        live_replay_events=0,
+        quiesce=1.5,
+        backends=("sim",),
+        output=None,
+    )
+    series = storm["analytics"]["series"].get("sim/openloop", {})
+    metrics = {
+        "workload/completed_ops": float(storm["sim"]["completed"]),
+        "workload/p50_ms": series.get("p50_ms", 0.0),
+        "workload/p99_ms": series.get("p99_ms", 0.0),
+    }
+    return {"scale": scale, "metrics": metrics, "analytics": storm["analytics"]}
+
+
 #: Gate suites: (collector, default baseline path, default output path).
 SUITES = {
     "smoke": (collect_smoke_metrics, _BASELINE_DIR / "smoke.json", Path("BENCH_smoke.json")),
     "perf": (collect_perf_metrics, _BASELINE_DIR / "perf.json", Path("BENCH_perf_metrics.json")),
+    "workload": (
+        collect_workload_metrics,
+        _BASELINE_DIR / "workload.json",
+        Path("BENCH_workload_metrics.json"),
+    ),
 }
 
 
@@ -293,6 +338,22 @@ def main(argv=None) -> int:
         return 2
     if not isinstance(baseline, dict):
         baseline = {}
+    # SLO verdicts and schema-drift warnings (suites that embed analytics).
+    # An older-schema baseline without the analytics section degrades to a
+    # warning -- never a KeyError -- so refreshed gates can compare against
+    # baselines recorded before the analytics layer existed.
+    if current.get("analytics") is not None:
+        from repro.bench.analytics import analytics_of
+
+        section, _ = analytics_of(current, source="current run")
+        if section is not None:
+            for verdict in section.get("slo", []):
+                status = "ok" if verdict.get("ok") else "VIOLATED"
+                print(f"  slo {verdict.get('series')}: {status}")
+        _, baseline_warnings = analytics_of(baseline, source=str(args.baseline))
+        for message in baseline_warnings:
+            print(f"::warning title=benchmark gate note::{message}")
+
     if baseline.get("scale") != current["scale"]:
         if args.missing_baseline == "skip":
             print(

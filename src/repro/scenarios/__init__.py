@@ -11,6 +11,10 @@ The subsystem has three layers:
   scenario × fault combinations and checks the global invariants
   (:mod:`repro.scenarios.invariants`) after each run.
 
+:mod:`repro.scenarios.flashcrowd` bridges to the workload engine: it derives
+fault plans from :class:`~repro.workloads.engine.PhaseSchedule` phases (e.g.
+a coordinator crash in the middle of a flash crowd).
+
 ``python -m repro.bench chaos`` is the command-line entry point.
 """
 
@@ -23,6 +27,7 @@ from repro.scenarios.faults import (
     ProcessCrash,
     ProcessIsolation,
 )
+from repro.scenarios.flashcrowd import flash_crowd_fault_plan
 from repro.scenarios.invariants import InvariantResult
 from repro.scenarios.topologies import TOPOLOGY_PRESETS, TopologyPreset, get_preset
 
@@ -36,6 +41,7 @@ __all__ = [
     "DiskStall",
     "DelaySpike",
     "InvariantResult",
+    "flash_crowd_fault_plan",
     "TopologyPreset",
     "TOPOLOGY_PRESETS",
     "get_preset",

@@ -192,6 +192,29 @@ class DLog:
             mapping[group] = names[client_index % len(names)]
         return mapping
 
+    def open_loop_target(
+        self,
+        append_size: int = 1024,
+        series: str = "openloop",
+        client_index: int = 0,
+    ):
+        """A :class:`~repro.workloads.engine.ServiceTarget` over this dLog.
+
+        Arrival-event key indices pick the destination log (modulo the log
+        count) and become fixed-size appends -- the open-loop counterpart of
+        :class:`~repro.workloads.simple.AppendWorkload`.
+        """
+        from repro.workloads.engine import ServiceTarget
+
+        def _request(event):
+            log = self.logs[event.key % len(self.logs)]
+            return self.append(log, event.size_bytes or append_size, series=series)
+
+        return ServiceTarget(
+            request_for=_request,
+            frontends=self.frontends_for_client(client_index),
+        )
+
     def ring_disk_of(self, log: str, acceptor_index: int = 0):
         """The stable-storage device of one of a log's acceptors (Figure 6 metric)."""
         group = self._group_of(log)

@@ -8,11 +8,29 @@
 * :mod:`repro.workloads.simple` -- the paper's other drivers: fixed-size
   append streams for dLog (Figures 5 and 6) and update-only streams for the
   horizontal-scalability experiment (Figure 7).
+* :mod:`repro.workloads.engine` -- the **open-loop** million-user workload
+  engine: Poisson/Zipf arrival sampling (no per-client objects), phase
+  schedules (diurnal curves, flash crowds, hotspot migration), trace
+  record/replay, and the :class:`~repro.workloads.engine.WorkloadManager`
+  lifecycle driving either backend.  See ``docs/workloads.md``.
 """
 
 from repro.workloads.distributions import UniformChooser, ZipfianChooser, LatestChooser
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, YCSB_WORKLOADS
 from repro.workloads.simple import AppendWorkload, UpdateWorkload, MixedOperationWorkload
+from repro.workloads.engine import (
+    ArrivalEvent,
+    FacadeWorkloadManager,
+    OpenLoopLoadGenerator,
+    OpenLoopSampler,
+    Phase,
+    PhaseSchedule,
+    ServiceTarget,
+    SimWorkloadManager,
+    WorkloadEntry,
+    WorkloadManager,
+    WorkloadTrace,
+)
 
 __all__ = [
     "UniformChooser",
@@ -24,4 +42,15 @@ __all__ = [
     "AppendWorkload",
     "UpdateWorkload",
     "MixedOperationWorkload",
+    "ArrivalEvent",
+    "Phase",
+    "PhaseSchedule",
+    "OpenLoopSampler",
+    "WorkloadTrace",
+    "WorkloadEntry",
+    "WorkloadManager",
+    "ServiceTarget",
+    "OpenLoopLoadGenerator",
+    "SimWorkloadManager",
+    "FacadeWorkloadManager",
 ]

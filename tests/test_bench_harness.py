@@ -124,6 +124,7 @@ class TestHarnessPresets:
             "perf",
             "live",
             "shootout",
+            "workload",
         }
 
 
